@@ -1,0 +1,230 @@
+package optipart_test
+
+// One benchmark per table/figure of the paper (regeneration targets run the
+// experiment drivers at smoke size; the full-size runs are
+// `go run ./cmd/experiments -run figN`), plus microbenchmarks for the hot
+// paths and the ablation benches called out in DESIGN.md.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"optipart"
+	"optipart/internal/comm"
+	"optipart/internal/experiments"
+	"optipart/internal/machine"
+	"optipart/internal/mesh"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+	"optipart/internal/sim"
+)
+
+// --- Figure regeneration benches -----------------------------------------
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, experiments.Config{Out: io.Discard, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02LevelTradeoff(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig03RefinementCases(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig04StrongScaling(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig05WeakScaling(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig06VsSampleSort(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig07ToleranceSweep(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig08ToleranceSweep(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig09PerNodeEnergy(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10ModelValidation(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11Imbalance(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12CommMatrix(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkHeadline(b *testing.B)             { benchExperiment(b, "headline") }
+
+// --- Microbenchmarks ------------------------------------------------------
+
+func benchKeys(n int) []sfc.Key {
+	rng := rand.New(rand.NewSource(1))
+	return octree.RandomKeys(rng, n, 3, octree.Normal, 2, 18)
+}
+
+func BenchmarkTreeSortMorton(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	keys := benchKeys(1 << 16)
+	work := make([]sfc.Key, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, keys)
+		psort.TreeSort(curve, work)
+	}
+	b.SetBytes(int64(len(keys) * psort.KeyBytes))
+}
+
+func BenchmarkTreeSortHilbert(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	keys := benchKeys(1 << 16)
+	work := make([]sfc.Key, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, keys)
+		psort.TreeSort(curve, work)
+	}
+	b.SetBytes(int64(len(keys) * psort.KeyBytes))
+}
+
+func BenchmarkHilbertIndex(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	keys := benchKeys(1024)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += curve.Index(keys[i%len(keys)])
+	}
+	_ = sink
+}
+
+func BenchmarkMortonIndex(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	keys := benchKeys(1024)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += curve.Index(keys[i%len(keys)])
+	}
+	_ = sink
+}
+
+func BenchmarkBalance21(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tree := octree.AdaptiveMesh(rng, 500, 3, octree.Normal, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		octree.Balance21(tree)
+	}
+}
+
+func benchPartition(b *testing.B, mode partition.Mode, kmax int) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	m := machine.Clemson32()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.Run(16, m.CostModel(), func(c *comm.Comm) {
+			rng := rand.New(rand.NewSource(int64(c.Rank())))
+			local := octree.RandomKeys(rng, 4096, 3, octree.Normal, 2, 18)
+			partition.Partition(c, local, partition.Options{
+				Curve: curve, Mode: mode, Tol: 0.3, Machine: m, MaxSplitters: kmax,
+			})
+		})
+	}
+}
+
+func BenchmarkPartitionEqualWork(b *testing.B) { benchPartition(b, partition.EqualWork, 0) }
+func BenchmarkPartitionFlexible(b *testing.B)  { benchPartition(b, partition.FlexibleTolerance, 0) }
+func BenchmarkPartitionOptiPart(b *testing.B)  { benchPartition(b, partition.ModelDriven, 0) }
+
+func BenchmarkSampleSortBaseline(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	m := machine.Clemson32()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.Run(16, m.CostModel(), func(c *comm.Comm) {
+			rng := rand.New(rand.NewSource(int64(c.Rank())))
+			local := octree.RandomKeys(rng, 4096, 3, octree.Normal, 2, 18)
+			psort.SampleSort(c, local, psort.SampleSortOptions{Curve: curve})
+		})
+	}
+}
+
+func BenchmarkMatvec(b *testing.B) {
+	curve := optipart.NewCurve(optipart.Hilbert, 3)
+	m := optipart.Wisconsin8()
+	tree := optipart.Balance21(optipart.AdaptiveMesh(
+		rand.New(rand.NewSource(3)), 400, 3, optipart.Normal, 7)).WithCurve(curve)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optipart.Run(8, m, func(c *optipart.Comm) {
+			var local []optipart.Key
+			for j, k := range tree.Leaves {
+				if j%8 == c.Rank() {
+					local = append(local, k)
+				}
+			}
+			res := optipart.Partition(c, local, optipart.Options{
+				Curve: curve, Mode: optipart.EqualWork, Machine: m,
+			})
+			prob := optipart.SetupPoisson(c, res.Local, res.Splitters)
+			optipart.RunMatvecs(c, prob, 10, 1)
+		})
+	}
+}
+
+func BenchmarkGhostBuild(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	m := machine.Wisconsin8()
+	tree := octree.Balance21(octree.AdaptiveMesh(
+		rand.New(rand.NewSource(4)), 400, 3, octree.Normal, 7)).WithCurve(curve)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.Run(8, m.CostModel(), func(c *comm.Comm) {
+			var local []sfc.Key
+			for j, k := range tree.Leaves {
+				if j%8 == c.Rank() {
+					local = append(local, k)
+				}
+			}
+			res := partition.Partition(c, local, partition.Options{
+				Curve: curve, Mode: partition.EqualWork, Machine: m,
+			})
+			mesh.Build(c, res.Local, res.Splitters, 1)
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md design decisions) --------------------------------
+
+// BenchmarkAblationStagedAlltoall compares the staged exchange against the
+// unstaged burst on the modeled clock (reported as ns/op of harness time;
+// the interesting output is printed modeled seconds, captured in
+// EXPERIMENTS.md).
+func BenchmarkAblationStagedAlltoall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, width := range []int{1, 15} {
+			comm.Run(16, machine.Titan().CostModel(), func(c *comm.Comm) {
+				send := make([][]int64, 16)
+				for dst := range send {
+					send[dst] = make([]int64, 2048)
+				}
+				comm.Alltoallv(c, send, 8, comm.AlltoallvOptions{StageWidth: width})
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSplitterRefinement compares full splitter reductions
+// (k = p) against staged ones (k << p).
+func BenchmarkAblationSplitterRefinement(b *testing.B) {
+	b.Run("k=p", func(b *testing.B) { benchPartition(b, partition.EqualWork, 0) })
+	b.Run("k=4", func(b *testing.B) { benchPartition(b, partition.EqualWork, 4) })
+}
+
+// BenchmarkAblationModelStop compares the model-driven stop against fixed
+// tolerances: the work OptiPart saves by not over-refining.
+func BenchmarkAblationModelStop(b *testing.B) {
+	b.Run("model", func(b *testing.B) { benchPartition(b, partition.ModelDriven, 0) })
+	b.Run("tol=0", func(b *testing.B) { benchPartition(b, partition.EqualWork, 0) })
+	b.Run("tol=0.3", func(b *testing.B) { benchPartition(b, partition.FlexibleTolerance, 0) })
+}
+
+// BenchmarkAnalyticModel exercises the paper-scale analytic executor.
+func BenchmarkAnalyticModel(b *testing.B) {
+	m := machine.Titan()
+	ps := []int{16, 256, 4096, 65536, 262144}
+	for i := 0; i < b.N; i++ {
+		sim.WeakScaling(m, 1_000_000, ps, sim.Config{})
+	}
+}

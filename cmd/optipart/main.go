@@ -1,0 +1,123 @@
+// Command optipart partitions a randomly generated octree workload and
+// reports the partition's quality under each strategy, so the tradeoff the
+// paper describes can be inspected from the command line.
+//
+// Usage:
+//
+//	optipart -p 64 -n 200000 -machine Clemson-32 -curve hilbert -mode optipart
+//	optipart -p 64 -n 200000 -mode flexible -tol 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"optipart"
+	"optipart/internal/comm"
+	"optipart/internal/stats"
+)
+
+func main() {
+	var (
+		p        = flag.Int("p", 32, "number of ranks")
+		n        = flag.Int("n", 100000, "total number of elements")
+		machine  = flag.String("machine", "Clemson-32", "machine model: Titan, Stampede, Clemson-32, Wisconsin-8")
+		curveArg = flag.String("curve", "hilbert", "space-filling curve: morton or hilbert")
+		mode     = flag.String("mode", "optipart", "partitioning mode: equal, flexible, optipart")
+		tol      = flag.Float64("tol", 0.3, "tolerance for -mode flexible")
+		dist     = flag.String("dist", "normal", "element distribution: uniform, normal, lognormal")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		alpha    = flag.Float64("alpha", optipart.DefaultAlpha, "memory accesses per unit work (application model)")
+		trace    = flag.Bool("trace", false, "print an ASCII timeline of the run (compute vs collective per rank)")
+	)
+	flag.Parse()
+
+	m, err := machineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	kind := optipart.Hilbert
+	if strings.EqualFold(*curveArg, "morton") {
+		kind = optipart.Morton
+	}
+	curve := optipart.NewCurve(kind, 3)
+	var pmode optipart.Mode
+	switch strings.ToLower(*mode) {
+	case "equal":
+		pmode = optipart.EqualWork
+	case "flexible":
+		pmode = optipart.FlexibleTolerance
+	case "optipart":
+		pmode = optipart.ModelDriven
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	var d optipart.Distribution
+	switch strings.ToLower(*dist) {
+	case "uniform":
+		d = optipart.Uniform
+	case "normal":
+		d = optipart.Normal
+	case "lognormal":
+		d = optipart.LogNormal
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+
+	perRank := *n / *p
+	var res *optipart.Result
+	body := func(c *optipart.Comm) {
+		rng := rand.New(rand.NewSource(*seed + int64(c.Rank())))
+		local := optipart.RandomKeys(rng, perRank, 3, d, 2, 18)
+		r := optipart.Partition(c, local, optipart.Options{
+			Curve: curve, Mode: pmode, Tol: *tol, Machine: m, Alpha: *alpha,
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+	}
+	var st *optipart.Stats
+	var tr *optipart.Trace
+	if *trace {
+		st, tr = optipart.RunTraced(*p, m, body)
+	} else {
+		st = optipart.Run(*p, m, body)
+	}
+
+	fmt.Printf("machine %s | curve %v | mode %v | %d elements on %d ranks\n\n",
+		m.Name, kind, pmode, *n, *p)
+	table := stats.NewTable("partition quality",
+		"metric", "value")
+	table.Add("modeled partition time (s)", st.Time())
+	table.Add("refinement rounds", res.Rounds)
+	table.Add("achieved tolerance", res.AchievedTol)
+	table.Add("Wmax", res.Quality.Wmax)
+	table.Add("Wmin", res.Quality.Wmin)
+	table.Add("load imbalance λ", res.Quality.LoadImbalance())
+	table.Add("Cmax (boundary octants)", res.Quality.Cmax)
+	table.Add("total boundary octants", res.Quality.Ctot)
+	table.Add("predicted app step (s), Eq. (3)", res.Predicted)
+	table.Fprint(os.Stdout)
+
+	if tr != nil {
+		fmt.Println()
+		comm.RenderTimeline(os.Stdout, tr, *p, 100)
+	}
+}
+
+func machineByName(name string) (optipart.Machine, error) {
+	for _, m := range []optipart.Machine{optipart.Titan(), optipart.Stampede(), optipart.Clemson32(), optipart.Wisconsin8()} {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	return optipart.Machine{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package optipart_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optipart"
+)
+
+// ExamplePartition partitions a deterministic workload with OptiPart and
+// prints the quality metrics the performance model traded on.
+func ExamplePartition() {
+	curve := optipart.NewCurve(optipart.Hilbert, 3)
+	m := optipart.Clemson32()
+	p := 4
+	var res *optipart.Result
+	optipart.Run(p, m, func(c *optipart.Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		keys := optipart.RandomKeys(rng, 5000, 3, optipart.Normal, 2, 12)
+		r := optipart.Partition(c, keys, optipart.Options{
+			Curve:   curve,
+			Mode:    optipart.ModelDriven,
+			Machine: m,
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+	})
+	fmt.Println("elements:", res.Quality.N)
+	fmt.Println("every rank non-empty:", res.Quality.Wmin > 0)
+	fmt.Println("boundary below elements:", res.Quality.Ctot < res.Quality.N)
+	// Output:
+	// elements: 20000
+	// every rank non-empty: true
+	// boundary below elements: true
+}
+
+// ExampleTreeSort sorts octant keys along the Hilbert curve with the
+// paper's Algorithm 1.
+func ExampleTreeSort() {
+	curve := optipart.NewCurve(optipart.Hilbert, 2)
+	keys := []optipart.Key{
+		curve.KeyAtIndex(9, 3),
+		curve.KeyAtIndex(2, 3),
+		curve.KeyAtIndex(5, 3),
+	}
+	optipart.TreeSort(curve, keys)
+	for _, k := range keys {
+		fmt.Println(curve.Index(k))
+	}
+	// Output:
+	// 2
+	// 5
+	// 9
+}
+
+// ExampleMachine_Predict evaluates Eq. (3) of the paper for a candidate
+// partition: the model that decides when OptiPart stops refining.
+func ExampleMachine_Predict() {
+	m := optipart.Clemson32()
+	balanced := m.Predict(optipart.DefaultAlpha, 1000, 300)
+	flexible := m.Predict(optipart.DefaultAlpha, 1200, 200)
+	fmt.Println("flexible partition predicted faster:", flexible < balanced)
+	// Output:
+	// flexible partition predicted faster: true
+}

@@ -1,0 +1,51 @@
+// Machinesweep: the same mesh partitioned for four different machines
+// produces four different partitions — the architecture-awareness that
+// gives OptiPart its name. Machines with slow interconnects (the CloudLab
+// 10 GbE clusters) accept more load imbalance to cut communication than
+// machines with fast ones (Titan, Stampede).
+//
+//	go run ./examples/machinesweep
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optipart"
+)
+
+const ranks = 48
+
+func main() {
+	curve := optipart.NewCurve(optipart.Hilbert, 3)
+	mesh := optipart.Balance21(optipart.AdaptiveMesh(
+		rand.New(rand.NewSource(5)), 2000, 3, optipart.Normal, 8)).WithCurve(curve)
+	fmt.Printf("one mesh (%d elements), four machines, OptiPart on %d ranks\n\n", mesh.Len(), ranks)
+	fmt.Printf("%-12s %12s %10s %8s %8s %14s\n",
+		"machine", "tw/tc ratio", "achieved", "λ", "Cmax", "predicted (s)")
+
+	for _, m := range []optipart.Machine{
+		optipart.Titan(), optipart.Stampede(), optipart.Clemson32(), optipart.Wisconsin8(),
+	} {
+		var res *optipart.Result
+		optipart.Run(ranks, m, func(c *optipart.Comm) {
+			var local []optipart.Key
+			for i, k := range mesh.Leaves {
+				if i%ranks == c.Rank() {
+					local = append(local, k)
+				}
+			}
+			r := optipart.Partition(c, local, optipart.Options{
+				Curve: curve, Mode: optipart.ModelDriven, Machine: m,
+			})
+			if c.Rank() == 0 {
+				res = r
+			}
+		})
+		fmt.Printf("%-12s %12.0f %10.3f %8.3f %8d %14.4g\n",
+			m.Name, m.Tw/m.Tc, res.AchievedTol, res.Quality.LoadImbalance(),
+			res.Quality.Cmax, res.Predicted)
+	}
+	fmt.Println("\ncommunication-bound machines tolerate more imbalance for smaller boundaries;")
+	fmt.Println("the partition is a function of the machine, not just the mesh.")
+}

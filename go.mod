@@ -1,0 +1,3 @@
+module optipart
+
+go 1.22

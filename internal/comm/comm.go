@@ -1,0 +1,200 @@
+// Package comm is the distributed-memory substrate: an SPMD runtime that
+// plays the role MPI plays in the paper. Run launches p ranks as goroutines;
+// ranks communicate only through the collectives defined here (Allreduce,
+// Allgather, Bcast, exclusive Scan, Barrier, and a staged Alltoallv).
+//
+// Alongside moving real data between goroutines, every collective advances a
+// virtual clock per rank according to a BSP cost model parameterized by the
+// machine's memory slowness tc, network latency ts, and network slowness tw
+// (Table 1 of the paper). Collectives synchronize the clocks — the cost of a
+// phase is paid from the latest participating rank, exactly as a bulk-
+// synchronous MPI program behaves — so World.Stats reports the modeled
+// parallel runtime of the algorithm on the chosen machine, independent of
+// the host this process runs on. Local computation is charged explicitly
+// with Comm.Compute or Comm.Elapse.
+//
+// The accounting is deterministic: given the same inputs the virtual times,
+// byte counts, and message counts are bit-identical across runs regardless
+// of goroutine scheduling.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CostModel carries the machine parameters used to price communication and
+// computation, in seconds. The zero value prices everything at zero, which
+// is convenient for pure correctness tests.
+type CostModel struct {
+	Tc float64 // memory slowness: seconds per byte of local traffic
+	Ts float64 // network latency: seconds per message
+	Tw float64 // network slowness: seconds per byte on the wire
+}
+
+// World holds the shared state of one SPMD run.
+type World struct {
+	p       int
+	model   CostModel
+	barrier *barrier
+
+	slots   []any // per-rank deposit area for collectives
+	scratch any   // rank-0 deposit for computed aggregates
+
+	clocks    []float64
+	phases    []string
+	phaseTime []map[string]float64
+	bytesSent []int64
+	msgsSent  []int64
+
+	trace *Trace // nil unless the run is traced
+}
+
+// Comm is one rank's handle to the world. It is only valid inside the
+// function passed to Run, on that rank's goroutine.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Run executes f on p ranks concurrently and returns the accumulated
+// statistics once every rank has returned. Ranks must all make the same
+// sequence of collective calls (as with MPI, mismatched collectives
+// deadlock).
+func Run(p int, model CostModel, f func(c *Comm)) *Stats {
+	return runWorld(p, model, nil, f)
+}
+
+func runWorld(p int, model CostModel, trace *Trace, f func(c *Comm)) *Stats {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: Run with p=%d", p))
+	}
+	w := &World{
+		trace:     trace,
+		p:         p,
+		model:     model,
+		barrier:   newBarrier(p),
+		slots:     make([]any, p),
+		clocks:    make([]float64, p),
+		phases:    make([]string, p),
+		phaseTime: make([]map[string]float64, p),
+		bytesSent: make([]int64, p),
+		msgsSent:  make([]int64, p),
+	}
+	for i := range w.phaseTime {
+		w.phaseTime[i] = make(map[string]float64)
+		w.phases[i] = "main"
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			f(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return newStats(w)
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.p }
+
+// Model returns the world's cost model.
+func (c *Comm) Model() CostModel { return c.w.model }
+
+// SetPhase labels subsequent virtual-time charges on this rank. Phases let
+// experiments report the paper's breakdowns (splitter / local sort /
+// all2all).
+func (c *Comm) SetPhase(name string) { c.w.phases[c.rank] = name }
+
+// Elapse charges dt seconds of local time to this rank's clock under its
+// current phase.
+func (c *Comm) Elapse(dt float64) {
+	start := c.w.clocks[c.rank]
+	c.w.clocks[c.rank] += dt
+	c.w.phaseTime[c.rank][c.w.phases[c.rank]] += dt
+	if c.w.trace != nil {
+		c.w.trace.add(Event{
+			Rank: c.rank, Phase: c.w.phases[c.rank], Op: "compute",
+			Start: start, End: c.w.clocks[c.rank],
+		})
+	}
+}
+
+// Compute charges the cost of touching bytes of local memory accesses: tc
+// per byte. Algorithms call it once per pass over their data, which is how
+// the tc·N/p terms of Eqs. (1)–(2) enter the model.
+func (c *Comm) Compute(bytes int64) {
+	c.Elapse(c.w.model.Tc * float64(bytes))
+}
+
+// Clock returns this rank's current virtual time.
+func (c *Comm) Clock() float64 { return c.w.clocks[c.rank] }
+
+// PhaseClock returns this rank's accumulated virtual time in the named
+// phase so far.
+func (c *Comm) PhaseClock(name string) float64 { return c.w.phaseTime[c.rank][name] }
+
+// log2p returns ceil(log2(p)), 0 for p == 1.
+func log2p(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// sync runs one synchronized step: every rank deposits into slots, rank 0
+// computes (seeing all deposits) and assigns per-rank costs, then every rank
+// extracts its private copy of the result via consume. compute runs exactly
+// once, on rank 0, and returns the uniform virtual cost of the step.
+// consume runs on every rank while all ranks are still inside the step, so
+// it may safely read data owned by other ranks; anything it returns must be
+// a copy, because deposited buffers belong to their owners again as soon as
+// sync returns.
+func (c *Comm) sync(op string, deposit any, compute func() float64, consume func(scratch any) any) any {
+	w := c.w
+	w.slots[c.rank] = deposit
+	w.barrier.wait()
+	if c.rank == 0 {
+		cost := compute()
+		// BSP semantics: the step starts when the last rank arrives and
+		// costs the same on every rank.
+		start := 0.0
+		for _, t := range w.clocks {
+			if t > start {
+				start = t
+			}
+		}
+		for i := range w.clocks {
+			dt := start + cost - w.clocks[i]
+			if w.trace != nil {
+				w.trace.add(Event{
+					Rank: i, Phase: w.phases[i], Op: op,
+					Start: w.clocks[i], End: start + cost,
+				})
+			}
+			w.clocks[i] = start + cost
+			w.phaseTime[i][w.phases[i]] += dt
+		}
+	}
+	w.barrier.wait()
+	var out any
+	if consume != nil {
+		out = consume(w.scratch)
+	}
+	w.barrier.wait() // slots, scratch, and deposits may be reused after this
+	return out
+}
+
+// Barrier synchronizes all ranks, charging the latency of a log2(p)-deep
+// synchronization tree.
+func (c *Comm) Barrier() {
+	c.sync("barrier", nil, func() float64 {
+		return c.w.model.Ts * log2p(c.w.p)
+	}, nil)
+}

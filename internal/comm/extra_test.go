@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"testing"
+)
+
+func TestAllgatherEmptyContributions(t *testing.T) {
+	Run(4, CostModel{}, func(c *Comm) {
+		var local []int64
+		if c.Rank() == 2 {
+			local = []int64{7}
+		}
+		got := Allgather(c, local, 8)
+		if len(got) != 1 || got[0] != 7 {
+			t.Errorf("rank %d: got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestAlltoallvAllEmpty(t *testing.T) {
+	stats := Run(3, CostModel{Ts: 1}, func(c *Comm) {
+		send := make([][]int64, 3)
+		recv := Alltoallv(c, send, 8, AlltoallvOptions{})
+		for src, r := range recv {
+			if len(r) != 0 {
+				t.Errorf("rank %d received %d elements from %d", c.Rank(), len(r), src)
+			}
+		}
+	})
+	// No active stages: no latency charged for the exchange itself.
+	if stats.TotalMsgs() != 0 {
+		t.Fatalf("empty exchange sent %d messages", stats.TotalMsgs())
+	}
+}
+
+func TestSparsePricing(t *testing.T) {
+	model := CostModel{Ts: 1e-3, Tw: 1e-6}
+	stats := Run(8, model, func(c *Comm) {
+		send := make([][]int64, 8)
+		// Every rank talks to exactly two neighbors.
+		send[(c.Rank()+1)%8] = make([]int64, 100)
+		send[(c.Rank()+7)%8] = make([]int64, 50)
+		_ = Alltoallv(c, send, 8, AlltoallvOptions{Sparse: true})
+	})
+	// Sparse cost: ts·maxMsgs + tw·maxBytes = 1e-3·2 + 1e-6·1200.
+	want := 2e-3 + 1e-6*1200
+	if diff := stats.Time() - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sparse exchange cost %g, want %g", stats.Time(), want)
+	}
+}
+
+func TestScanKeysLikePayload(t *testing.T) {
+	// Exclusive scan over a struct payload.
+	type pair struct{ A, B int64 }
+	Run(5, CostModel{}, func(c *Comm) {
+		got := ExclusiveScan(c, pair{1, int64(c.Rank())}, pair{}, 16, func(x, y pair) pair {
+			return pair{x.A + y.A, x.B + y.B}
+		})
+		r := int64(c.Rank())
+		if got.A != r || got.B != r*(r-1)/2 {
+			t.Errorf("rank %d: scan = %+v", c.Rank(), got)
+		}
+	})
+}
+
+func TestStatsPhases(t *testing.T) {
+	stats := Run(2, CostModel{}, func(c *Comm) {
+		c.SetPhase("alpha")
+		c.Elapse(1)
+		if c.Rank() == 1 {
+			c.SetPhase("beta")
+			c.Elapse(2)
+		}
+	})
+	names := stats.Phases()
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["alpha"] || !has["beta"] {
+		t.Fatalf("phases = %v", names)
+	}
+	if got := stats.Phase("beta"); got != 2 {
+		t.Fatalf("beta = %g", got)
+	}
+	if got := stats.Phase("nonexistent"); got != 0 {
+		t.Fatalf("missing phase = %g", got)
+	}
+}
+
+func TestPhaseClockPerRank(t *testing.T) {
+	Run(3, CostModel{}, func(c *Comm) {
+		c.SetPhase("work")
+		c.Elapse(float64(c.Rank()))
+		if got := c.PhaseClock("work"); got != float64(c.Rank()) {
+			t.Errorf("rank %d: PhaseClock = %g", c.Rank(), got)
+		}
+	})
+}
+
+func TestBcastFromLastRank(t *testing.T) {
+	Run(4, CostModel{}, func(c *Comm) {
+		var msg []int64
+		if c.Rank() == 3 {
+			msg = []int64{11}
+		}
+		got := Bcast(c, 3, msg, 8)
+		if len(got) != 1 || got[0] != 11 {
+			t.Errorf("rank %d: %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestCollectivesAfterCollectives(t *testing.T) {
+	// Back-to-back collectives of different types must not interfere
+	// (slot/scratch reuse safety).
+	Run(6, CostModel{}, func(c *Comm) {
+		for i := 0; i < 20; i++ {
+			s := AllreduceScalar(c, int64(1), 8, SumI64)
+			if s != 6 {
+				t.Errorf("iter %d: sum %d", i, s)
+				return
+			}
+			g := Allgather(c, []int64{int64(c.Rank())}, 8)
+			if len(g) != 6 {
+				t.Errorf("iter %d: gathered %d", i, len(g))
+				return
+			}
+			c.Barrier()
+		}
+	})
+}

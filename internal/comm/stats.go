@@ -1,0 +1,78 @@
+package comm
+
+// Stats is the accounting of one SPMD run: modeled times per rank and phase,
+// and actual communication volumes. All values are deterministic functions
+// of the algorithm and its inputs.
+type Stats struct {
+	P          int
+	Clocks     []float64            // per-rank total virtual time
+	PhaseTimes []map[string]float64 // per-rank virtual time per phase
+	BytesSent  []int64              // per-rank bytes placed on the network
+	MsgsSent   []int64              // per-rank message count
+}
+
+func newStats(w *World) *Stats {
+	s := &Stats{
+		P:          w.p,
+		Clocks:     w.clocks,
+		PhaseTimes: w.phaseTime,
+		BytesSent:  w.bytesSent,
+		MsgsSent:   w.msgsSent,
+	}
+	return s
+}
+
+// Time returns the modeled parallel runtime: the maximum rank clock.
+func (s *Stats) Time() float64 {
+	var t float64
+	for _, c := range s.Clocks {
+		if c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Phase returns the modeled time of one phase: the maximum across ranks.
+func (s *Stats) Phase(name string) float64 {
+	var t float64
+	for _, m := range s.PhaseTimes {
+		if v := m[name]; v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// Phases returns the set of phase names seen on any rank.
+func (s *Stats) Phases() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, m := range s.PhaseTimes {
+		for name := range m {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	return names
+}
+
+// TotalBytes returns the total bytes placed on the network by all ranks.
+func (s *Stats) TotalBytes() int64 {
+	var b int64
+	for _, v := range s.BytesSent {
+		b += v
+	}
+	return b
+}
+
+// TotalMsgs returns the total message count across ranks.
+func (s *Stats) TotalMsgs() int64 {
+	var m int64
+	for _, v := range s.MsgsSent {
+		m += v
+	}
+	return m
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/sfc"
+)
+
+func quickSpec(mode partition.Mode, tol float64) CampaignSpec {
+	return CampaignSpec{
+		Machine: machine.Wisconsin8(), P: 16, Kind: sfc.Hilbert,
+		MeshSeeds: 150, MeshDepth: 7, Dist: octree.Normal,
+		Mode: mode, Tol: tol, Iters: 5, Seed: 99,
+	}
+}
+
+func TestCampaignOutcomeSane(t *testing.T) {
+	o := RunFEMCampaign(quickSpec(partition.EqualWork, 0))
+	if o.Elements <= 0 {
+		t.Fatal("no elements")
+	}
+	if o.MatvecTime <= 0 || o.TotalTime < o.MatvecTime {
+		t.Fatalf("time accounting wrong: matvec %g total %g", o.MatvecTime, o.TotalTime)
+	}
+	if o.EnergyJ <= 0 || len(o.NodeEnergy) == 0 {
+		t.Fatal("no energy")
+	}
+	if o.Quality.N != int64(o.Elements) {
+		t.Fatalf("quality N %d != elements %d", o.Quality.N, o.Elements)
+	}
+	if o.NNZ <= 0 || o.TotalDataPerIter <= 0 || o.MaxDegree <= 0 {
+		t.Fatalf("communication metrics missing: %+v", o)
+	}
+	if o.Predicted <= 0 {
+		t.Fatal("no model prediction")
+	}
+}
+
+func TestCampaignCacheHit(t *testing.T) {
+	a := RunFEMCampaign(quickSpec(partition.EqualWork, 0))
+	b := RunFEMCampaign(quickSpec(partition.EqualWork, 0))
+	if a.MatvecTime != b.MatvecTime || a.EnergyJ != b.EnergyJ || a.NNZ != b.NNZ {
+		t.Fatal("cached outcome differs from original")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a := RunFEMCampaign(quickSpec(partition.FlexibleTolerance, 0.2))
+	outcomeCache.Delete(quickSpec(partition.FlexibleTolerance, 0.2))
+	b := RunFEMCampaign(quickSpec(partition.FlexibleTolerance, 0.2))
+	if a.MatvecTime != b.MatvecTime || a.EnergyJ != b.EnergyJ || a.NNZ != b.NNZ {
+		t.Fatalf("campaign not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCampaignToleranceChangesOutcome(t *testing.T) {
+	a := RunFEMCampaign(quickSpec(partition.EqualWork, 0))
+	b := RunFEMCampaign(quickSpec(partition.FlexibleTolerance, 0.4))
+	if a.Quality.Wmax == b.Quality.Wmax && a.TotalDataPerIter == b.TotalDataPerIter {
+		t.Fatal("tolerance had no effect at all")
+	}
+	if b.Quality.Wmax < a.Quality.Wmax {
+		t.Fatal("flexible partition cannot be better balanced than equal-work")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode;
+// each driver contains its own shape assertions (monotone trends,
+// pathological cases, improvement thresholds), so passing means the scaled
+// reproduction reproduces the paper's qualitative results.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(name, Config{Out: &buf, Quick: true}); err != nil {
+				t.Fatalf("%s failed: %v\noutput:\n%s", name, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", Config{Out: &buf}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "headline"}
+	have := strings.Join(Names(), ",")
+	for _, n := range want {
+		if !strings.Contains(have, n) {
+			t.Fatalf("experiment %s not registered (have %s)", n, have)
+		}
+	}
+	for _, n := range Names() {
+		if Describe(n) == "" {
+			t.Fatalf("experiment %s has no description", n)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/sfc"
+	"optipart/internal/stats"
+)
+
+func init() {
+	register("fig10",
+		"model validation: measured vs predicted runtime vs tolerance; OptiPart's chosen tolerance", fig10)
+	register("fig11",
+		"load imbalance and communication imbalance vs tolerance, Clemson model", fig11)
+	register("fig12",
+		"communication matrix: nnz vs tolerance (both curves) and total data for 100 matvecs", fig12)
+	register("headline",
+		"headline claim: up to 22% time/energy reduction vs standard SFC partitioning", headline)
+}
+
+// fig10 reproduces Figure 10: a brute-force tolerance sweep comparing the
+// measured matvec campaign time against the model prediction
+// Tp = α·tc·Wmax + tw·Cmax, plus the tolerance OptiPart selects on its own.
+// The model is validated when both curves move together and OptiPart's
+// choice lands at (or next to) the measured minimum.
+func fig10(cfg Config) error {
+	paperNote(cfg,
+		"100 matvecs, 256 cores, Wisconsin CloudLab, Hilbert; optimal tolerance ~0.3, OptiPart approaches it from the right",
+		"256 ranks under the Wisconsin-8 model, scaled mesh, same sweep")
+	m := machine.Wisconsin8()
+	p, seeds, depth, iters := 256, 4000, uint8(9), 50
+	tols := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	if cfg.Quick {
+		p, seeds, depth, iters = 32, 300, 8, 10
+		tols = []float64{0, 0.2, 0.4}
+	}
+	table := stats.NewTable("Figure 10: measured vs predicted (Hilbert)",
+		"tolerance", "measured(s)", "predicted/iter(s)", "Wmax", "Cmax")
+	measuredBest, measuredAt := -1.0, 0.0
+	predictedBest, predictedAt := -1.0, 0.0
+	for _, tol := range tols {
+		spec := CampaignSpec{
+			Machine: m, P: p, Kind: sfc.Hilbert,
+			MeshSeeds: seeds, MeshDepth: depth, Dist: octree.Normal,
+			Mode: partition.FlexibleTolerance, Tol: tol, Iters: iters, Seed: cfg.Seed,
+		}
+		if tol == 0 {
+			spec.Mode = partition.EqualWork
+		}
+		o := RunFEMCampaign(spec)
+		table.Add(tol, o.MatvecTime, o.Predicted, o.Quality.Wmax, o.Quality.Cmax)
+		if measuredBest < 0 || o.MatvecTime < measuredBest {
+			measuredBest, measuredAt = o.MatvecTime, tol
+		}
+		if predictedBest < 0 || o.Predicted < predictedBest {
+			predictedBest, predictedAt = o.Predicted, tol
+		}
+	}
+	table.Fprint(cfg.Out)
+
+	// What does OptiPart choose by itself?
+	opti := RunFEMCampaign(CampaignSpec{
+		Machine: m, P: p, Kind: sfc.Hilbert,
+		MeshSeeds: seeds, MeshDepth: depth, Dist: octree.Normal,
+		Mode: partition.ModelDriven, Iters: iters, Seed: cfg.Seed,
+	})
+	fmt.Fprintf(cfg.Out, "\nmeasured optimum at tol=%.2f; model optimum at tol=%.2f; OptiPart stopped at achieved tol=%.3f (measured %.4g s)\n",
+		measuredAt, predictedAt, opti.AchievedTol, opti.MatvecTime)
+	if opti.MatvecTime > measuredBest*1.25 {
+		return fmt.Errorf("fig10: OptiPart's choice (%.4g s) is >25%% off the brute-force optimum (%.4g s)",
+			opti.MatvecTime, measuredBest)
+	}
+	return nil
+}
+
+// fig11 reproduces Figure 11: load imbalance (Wmax/Wmin) and communication
+// imbalance (Cmax/Cmin) both grow with the tolerance.
+func fig11(cfg Config) error {
+	paperNote(cfg,
+		"Hilbert, grain 1e5, depth 30, 1792 tasks on Clemson; both imbalances grow with tolerance",
+		"112 ranks under the Clemson-32 model, scaled mesh")
+	p, seeds, depth := 112, 6000, uint8(9)
+	tols := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+	if cfg.Quick {
+		p, seeds, depth = 28, 400, 8
+		tols = []float64{0, 0.25, 0.5}
+	}
+	table := stats.NewTable("Figure 11: imbalance vs tolerance (Hilbert)",
+		"tolerance", "load imbalance", "comm imbalance")
+	first, last := partition.Quality{}, partition.Quality{}
+	for i, tol := range tols {
+		spec := CampaignSpec{
+			Machine: machine.Clemson32(), P: p, Kind: sfc.Hilbert,
+			MeshSeeds: seeds, MeshDepth: depth, Dist: octree.Normal,
+			Mode: partition.FlexibleTolerance, Tol: tol, Iters: 1, Seed: cfg.Seed,
+		}
+		if tol == 0 {
+			spec.Mode = partition.EqualWork
+		}
+		o := RunFEMCampaign(spec)
+		table.Add(tol, o.Quality.LoadImbalance(), o.Quality.CommImbalance())
+		if i == 0 {
+			first = o.Quality
+		}
+		last = o.Quality
+	}
+	table.Fprint(cfg.Out)
+	if last.LoadImbalance() < first.LoadImbalance() {
+		return fmt.Errorf("fig11: load imbalance did not grow across the sweep")
+	}
+	return nil
+}
+
+// fig12 reproduces Figure 12: the number of non-zeros in the communication
+// matrix decreases with tolerance for both curves (left, center: 1B
+// elements / 4096 tasks in the paper), and so does the total data moved by
+// 100 matvecs (right: 25.6M elements / 256 cores).
+func fig12(cfg Config) error {
+	paperNote(cfg,
+		"nnz: mesh 1B / 4096 tasks; total data: 25.6M / 256 cores on Wisconsin; both fall as tolerance grows; Hilbert moves less data than Morton",
+		"nnz: scaled mesh / 448 ranks; total data: scaled mesh / 256 ranks, 100 matvecs")
+	pNNZ, seedsNNZ, depth := 448, 8000, uint8(9)
+	pData, seedsData, iters := 256, 4000, 50
+	tols := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	if cfg.Quick {
+		pNNZ, seedsNNZ, depth = 56, 500, 8
+		pData, seedsData, iters = 32, 300, 10
+		tols = []float64{0, 0.25, 0.5}
+	}
+
+	table := stats.NewTable("Figure 12 (left/center): nnz of the communication matrix",
+		"tolerance", "Morton nnz", "Hilbert nnz", "Morton maxdeg", "Hilbert maxdeg")
+	type endpoints struct{ first, last int }
+	nnzEnds := map[sfc.Kind]*endpoints{sfc.Morton: {}, sfc.Hilbert: {}}
+	for i, tol := range tols {
+		row := []any{tol}
+		deg := []any{}
+		for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+			spec := CampaignSpec{
+				Machine: machine.Clemson32(), P: pNNZ, Kind: kind,
+				MeshSeeds: seedsNNZ, MeshDepth: depth, Dist: octree.Normal,
+				Mode: partition.FlexibleTolerance, Tol: tol, Iters: 1, Seed: cfg.Seed,
+			}
+			if tol == 0 {
+				spec.Mode = partition.EqualWork
+			}
+			o := RunFEMCampaign(spec)
+			row = append(row, o.NNZ)
+			deg = append(deg, o.MaxDegree)
+			if i == 0 {
+				nnzEnds[kind].first = o.NNZ
+			}
+			nnzEnds[kind].last = o.NNZ
+		}
+		row = append(row, deg...)
+		table.Add(row...)
+	}
+	table.Fprint(cfg.Out)
+	for kind, e := range nnzEnds {
+		if e.last > e.first {
+			return fmt.Errorf("fig12: %v nnz grew across the sweep (%d -> %d)", kind, e.first, e.last)
+		}
+	}
+
+	fmt.Fprintln(cfg.Out)
+	table2 := stats.NewTable("Figure 12 (right): total elements exchanged over the campaign",
+		"tolerance", "Morton", "Hilbert")
+	for _, tol := range tols {
+		row := []any{tol}
+		for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+			spec := CampaignSpec{
+				Machine: machine.Wisconsin8(), P: pData, Kind: kind,
+				MeshSeeds: seedsData, MeshDepth: 9, Dist: octree.Normal,
+				Mode: partition.FlexibleTolerance, Tol: tol, Iters: iters, Seed: cfg.Seed,
+			}
+			if tol == 0 {
+				spec.Mode = partition.EqualWork
+			}
+			o := RunFEMCampaign(spec)
+			row = append(row, o.TotalDataPerIter*int64(iters))
+		}
+		table2.Add(row...)
+	}
+	table2.Fprint(cfg.Out)
+	return nil
+}
+
+// headline reproduces the abstract's claim: the flexible/model-driven
+// partition reduces time- and energy-to-solution by a double-digit
+// percentage (up to 22% in the paper) relative to the standard equal-work
+// SFC partition.
+func headline(cfg Config) error {
+	paperNote(cfg,
+		"\"reduces overall energy as well as time-to-solution for application codes by up to 22.0%\"",
+		"best tolerance vs tol=0 on the Clemson-32 model, Hilbert & Morton")
+	p, seeds, depth, iters, tols := fig7Sizes(cfg)
+	series, err := toleranceSweep(cfg, machine.Clemson32(), p, seeds, depth, iters, tols,
+		"headline: sweep used for the claim")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out)
+	// "Up to" is a best-case claim: take the best configuration across
+	// curves and tolerances, exactly as the abstract does.
+	best := 0.0
+	for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+		tGain, _ := bestImprovement(series[kind], func(o CampaignOutcome) float64 { return o.MatvecTime })
+		eGain, _ := bestImprovement(series[kind], func(o CampaignOutcome) float64 { return o.EnergyJ })
+		fmt.Fprintf(cfg.Out, "%s: time-to-solution reduced up to %.1f%%, energy-to-solution up to %.1f%%\n",
+			kind, 100*tGain, 100*eGain)
+		if tGain > best {
+			best = tGain
+		}
+	}
+	if best <= 0.02 {
+		return fmt.Errorf("headline: runtime gain %.1f%% too small to support the claim", 100*best)
+	}
+	fmt.Fprintf(cfg.Out, "\ndirection reproduced: flexible partitioning cuts both time and energy; the magnitude is grain-limited at this scale (see EXPERIMENTS.md)\n")
+	return nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optipart/internal/stats"
+)
+
+func init() {
+	register("fig3",
+		"surface-area change when refining a quadrant on a partition boundary; the pathological decreasing case", fig3)
+}
+
+// fig3 reproduces Figure 3 exactly: a quadrant that will be refined shares
+// 1, 2, or 3 of its faces with the blue partition; 1–3 of its children are
+// then added to the blue partition, and the length of the blue partition
+// boundary (measured in child-cell edges, within the quadrant's closure) is
+// computed for every possible child subset. For 1 and 2 shared faces the
+// boundary never decreases; with 3 shared faces and 3 children moved there
+// is exactly one configuration whose boundary decreases — the paper's
+// pathological bottom-right case.
+func fig3(cfg Config) error {
+	paperNote(cfg,
+		"rows share 1/2/3 faces (initial surface 2/4/6); adding children yields 4,4,6 / 4,4,6 / 6,6,4 — the last case decreases",
+		"exhaustive enumeration of all child subsets per case, same units")
+
+	table := stats.NewTable("Figure 3: blue-partition boundary after refining",
+		"shared faces", "initial s", "children moved", "s (all subsets)", "min s", "paper's case")
+
+	// The quadrant's children in a 2x2 layout, indexed by (x, y) bit.
+	type cell = int                                  // 0..3: x | y<<1
+	adj := [][2]cell{{0, 1}, {2, 3}, {0, 2}, {1, 3}} // internal edges
+	// side s of the quadrant -> the two cells on it.
+	sides := map[string][2]cell{
+		"left":   {0, 2},
+		"right":  {1, 3},
+		"bottom": {0, 1},
+		"top":    {2, 3},
+	}
+	blueSides := [][]string{
+		{"left"},
+		{"left", "top"},
+		{"left", "top", "bottom"},
+	}
+	// The subsets drawn in the paper's figure, one per (row, m).
+	paperSubsets := map[[2]int][]cell{
+		{1, 1}: {2},       // top-left child
+		{1, 2}: {2, 0},    // left column
+		{1, 3}: {2, 0, 3}, // left column + top-right
+		{2, 1}: {2},
+		{2, 2}: {2, 3},
+		{2, 3}: {2, 0, 1}, // around the corner
+		{3, 1}: {2},
+		{3, 2}: {2, 3},    // top row
+		{3, 3}: {2, 0, 1}, // the pathological case
+	}
+
+	boundary := func(blue []string, moved map[cell]bool) int {
+		isBlueSide := map[string]bool{}
+		for _, s := range blue {
+			isBlueSide[s] = true
+		}
+		s := 0
+		for _, e := range adj {
+			if moved[e[0]] != moved[e[1]] {
+				s++
+			}
+		}
+		for name, cells := range sides {
+			for _, c := range cells {
+				// Blue beyond the side facing a non-blue child, or a blue
+				// child facing non-blue territory beyond the side: either
+				// way one unit of blue boundary.
+				if isBlueSide[name] != moved[c] {
+					s++
+				}
+			}
+		}
+		return s
+	}
+
+	sawDecrease := false
+	for row := 1; row <= 3; row++ {
+		blue := blueSides[row-1]
+		initial := 2 * row
+		for m := 1; m <= 3; m++ {
+			var all []int
+			minS := 1 << 30
+			for mask := 1; mask < 16; mask++ {
+				moved := map[cell]bool{}
+				cnt := 0
+				for c := 0; c < 4; c++ {
+					if mask>>c&1 == 1 {
+						moved[c] = true
+						cnt++
+					}
+				}
+				if cnt != m {
+					continue
+				}
+				s := boundary(blue, moved)
+				all = append(all, s)
+				if s < minS {
+					minS = s
+				}
+			}
+			paperCase := map[cell]bool{}
+			for _, c := range paperSubsets[[2]int{row, m}] {
+				paperCase[c] = true
+			}
+			ps := boundary(blue, paperCase)
+			table.Add(row, initial, m, fmt.Sprintf("%v", all), minS, ps)
+
+			if row < 3 && minS < initial {
+				return fmt.Errorf("fig3: rows with 1-2 shared faces must be non-decreasing, got min %d < %d", minS, initial)
+			}
+			if row == 3 && m == 3 && minS < initial {
+				sawDecrease = true
+			}
+		}
+	}
+	if !sawDecrease {
+		return fmt.Errorf("fig3: the pathological decreasing case (3 faces, 3 children) was not found")
+	}
+	table.Fprint(cfg.Out)
+	fmt.Fprintln(cfg.Out, "\npathological case confirmed: 3 shared faces + 3 moved children can decrease the boundary")
+	return nil
+}

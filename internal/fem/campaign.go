@@ -1,0 +1,50 @@
+package fem
+
+import (
+	"math/rand"
+
+	"optipart/internal/comm"
+)
+
+// CampaignResult summarizes a fixed-iteration matvec campaign (the paper
+// runs 100 matvecs per configuration, §5.3) on one rank; the aggregate
+// fields are identical across ranks.
+type CampaignResult struct {
+	Iterations int
+	// ElementsMoved is the global number of ghost elements exchanged over
+	// the whole campaign (Figure 12, right).
+	ElementsMoved int64
+	// LocalBusy is this rank's modeled compute seconds (for the power
+	// model's utilization).
+	LocalBusy float64
+}
+
+// RunCampaign applies the operator iters times to a deterministic random
+// vector, the measurement loop of §5.4. Collective.
+func RunCampaign(c *comm.Comm, p *Problem, iters int, seed int64) CampaignResult {
+	rng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+	x := p.NewVector()
+	y := p.NewVector()
+	for i := 0; i < p.NumLocal(); i++ {
+		x[i] = rng.Float64()
+	}
+	startBusy := busySeconds(c, p)
+	for it := 0; it < iters; it++ {
+		p.Matvec(c, x, y)
+		x, y = y, x
+	}
+	perIter := comm.AllreduceScalar(c, p.Ghost.SendVolume(), 8, comm.SumI64)
+	return CampaignResult{
+		Iterations:    iters,
+		ElementsMoved: perIter * int64(iters),
+		LocalBusy:     busySeconds(c, p) - startBusy,
+	}
+}
+
+// busySeconds reads this rank's accumulated compute-phase time. The
+// compute phase is what keeps cores busy; halo waits leave them idle, which
+// is exactly the utilization split the node power model consumes.
+func busySeconds(c *comm.Comm, p *Problem) float64 {
+	_ = p
+	return c.PhaseClock("compute")
+}

@@ -1,0 +1,52 @@
+package fem
+
+import (
+	"math"
+
+	"optipart/internal/comm"
+)
+
+// CG solves A·x = b with the conjugate gradient method, the canonical
+// "series of matvecs" the paper says all complex FEM operations reduce to
+// (§5.3). It returns the solution vector, the iteration count, and the
+// final relative residual. Collective.
+func (p *Problem) CG(c *comm.Comm, b []float64, tol float64, maxIter int) (x []float64, iters int, rel float64) {
+	x = p.NewVector()
+	r := p.NewVector()
+	d := p.NewVector()
+	q := p.NewVector()
+	copy(r, b[:p.nLocal])
+	copy(d, r[:p.nLocal])
+	rr := p.Dot(c, r, r)
+	r0 := rr
+	if r0 == 0 {
+		return x, 0, 0
+	}
+	for iters = 0; iters < maxIter; iters++ {
+		p.Matvec(c, d, q)
+		dq := p.Dot(c, d, q)
+		if dq == 0 {
+			break
+		}
+		alpha := rr / dq
+		for i := 0; i < p.nLocal; i++ {
+			x[i] += alpha * d[i]
+			r[i] -= alpha * q[i]
+		}
+		rrNew := p.Dot(c, r, r)
+		if rrNew <= tol*tol*r0 {
+			rr = rrNew
+			iters++
+			break
+		}
+		beta := rrNew / rr
+		for i := 0; i < p.nLocal; i++ {
+			d[i] = r[i] + beta*d[i]
+		}
+		rr = rrNew
+	}
+	if r0 > 0 {
+		rel = math.Sqrt(rr / r0)
+	}
+	return x, iters, rel
+}

@@ -1,0 +1,87 @@
+package fem
+
+import (
+	"math"
+
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/sfc"
+)
+
+// WaveState holds the two time levels of a leapfrog integration of the
+// second-order wave equation u_tt = c²·Δu with zero Dirichlet boundaries.
+type WaveState struct {
+	Prev, Cur []float64
+	invMass   []float64 // 1 / cell volume, the lumped mass inverse
+	dt        float64
+	c2        float64
+	scratch   []float64
+}
+
+// NewWave prepares a leapfrog integration on the problem's mesh with wave
+// speed c. The time step is chosen from the CFL condition on the finest
+// cell: dt = cfl·h_min/c. The state starts at rest with the given initial
+// displacement.
+func (p *Problem) NewWave(waveSpeed, cfl float64, initial func(k sfc.Key) float64) *WaveState {
+	hMin := math.Inf(1)
+	inv := make([]float64, p.nLocal)
+	for i, k := range p.Local {
+		h := float64(k.Size()) / float64(uint32(1)<<sfc.MaxLevel)
+		if h < hMin {
+			hMin = h
+		}
+		vol := 1.0
+		for d := 0; d < p.Curve.Dim; d++ {
+			vol *= h
+		}
+		inv[i] = 1 / vol
+	}
+	w := &WaveState{
+		Prev:    p.NewVector(),
+		Cur:     p.NewVector(),
+		invMass: inv,
+		dt:      cfl * hMin / waveSpeed,
+		c2:      waveSpeed * waveSpeed,
+		scratch: p.NewVector(),
+	}
+	for i, k := range p.Local {
+		v := initial(k)
+		w.Prev[i] = v
+		w.Cur[i] = v // at rest: u(-dt) = u(0)
+	}
+	return w
+}
+
+// Dt returns the integration time step.
+func (w *WaveState) Dt() float64 { return w.dt }
+
+// Step advances one leapfrog step:
+//
+//	u_next = 2·u_cur − u_prev − dt²·c²·M⁻¹·A·u_cur
+//
+// where A is the problem's stiffness operator (≈ −Δ) and M the lumped mass
+// matrix. Each step costs one halo refresh plus three streamed vectors —
+// the wave kernel's higher α relative to a bare matvec. Collective.
+func (p *Problem) Step(c *comm.Comm, w *WaveState) {
+	p.Matvec(c, w.Cur, w.scratch)
+	c.SetPhase("compute")
+	k := w.dt * w.dt * w.c2
+	for i := 0; i < p.nLocal; i++ {
+		next := 2*w.Cur[i] - w.Prev[i] - k*w.invMass[i]*w.scratch[i]
+		w.Prev[i] = w.Cur[i]
+		w.Cur[i] = next
+	}
+	// The extra time-level traffic beyond the matvec's own charge.
+	c.Compute(int64(p.nLocal) * 4 * machine.WordBytes)
+}
+
+// MaxAbs returns the global max |u| of the current level. Collective.
+func (p *Problem) MaxAbs(c *comm.Comm, w *WaveState) float64 {
+	var m float64
+	for i := 0; i < p.nLocal; i++ {
+		if v := math.Abs(w.Cur[i]); v > m {
+			m = v
+		}
+	}
+	return comm.AllreduceScalar(c, m, 8, comm.MaxF64)
+}

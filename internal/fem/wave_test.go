@@ -1,0 +1,141 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/partition"
+	"optipart/internal/sfc"
+)
+
+// waveProblem builds a distributed problem over a balanced mesh.
+func waveProblem(t *testing.T, c *comm.Comm, leaves []sfc.Key, curve *sfc.Curve, kernel Kernel) *Problem {
+	t.Helper()
+	var local []sfc.Key
+	for i, k := range leaves {
+		if i%c.Size() == c.Rank() {
+			local = append(local, k)
+		}
+	}
+	res := partition.Partition(c, local, partition.Options{
+		Curve: curve, Mode: partition.EqualWork, Machine: machine.Wisconsin8(),
+	})
+	return SetupKernel(c, res.Local, res.Splitters, 1, kernel)
+}
+
+func TestWaveStableAndPropagates(t *testing.T) {
+	m, curve := balancedMesh(t, sfc.Hilbert, 60, 5)
+	var maxAmp, farValue float64
+	comm.Run(4, comm.CostModel{}, func(c *comm.Comm) {
+		prob := waveProblem(t, c, m.Leaves, curve, Wave())
+		// Gaussian pulse near the center.
+		w := prob.NewWave(1.0, 0.3, func(k sfc.Key) float64 {
+			s := float64(uint32(1) << sfc.MaxLevel)
+			cx := (float64(k.X)+float64(k.Size())/2)/s - 0.5
+			cy := (float64(k.Y)+float64(k.Size())/2)/s - 0.5
+			cz := (float64(k.Z)+float64(k.Size())/2)/s - 0.5
+			return math.Exp(-80 * (cx*cx + cy*cy + cz*cz))
+		})
+		var localFar float64
+		for step := 0; step < 200; step++ {
+			prob.Step(c, w)
+		}
+		amp := prob.MaxAbs(c, w)
+		// Sample a cell far from the pulse: the corner.
+		for i, k := range prob.Local {
+			if k.X == 0 && k.Y == 0 && k.Z == 0 {
+				localFar = math.Abs(w.Cur[i])
+			}
+		}
+		far := comm.AllreduceScalar(c, localFar, 8, comm.MaxF64)
+		if c.Rank() == 0 {
+			maxAmp, farValue = amp, far
+		}
+	})
+	if math.IsNaN(maxAmp) || maxAmp > 10 {
+		t.Fatalf("wave integration unstable: max amplitude %g", maxAmp)
+	}
+	if maxAmp <= 0 {
+		t.Fatal("wave died completely")
+	}
+	if farValue == 0 {
+		t.Fatal("disturbance never reached the corner cell: no propagation")
+	}
+}
+
+func TestWaveMatchesSequential(t *testing.T) {
+	m, curve := balancedMesh(t, sfc.Hilbert, 40, 5)
+	run := func(p int) map[sfc.Key]float64 {
+		perRank := make([]map[sfc.Key]float64, p)
+		comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+			prob := waveProblem(t, c, m.Leaves, curve, Wave())
+			w := prob.NewWave(1.0, 0.25, func(k sfc.Key) float64 {
+				return float64(k.X%97) / 97
+			})
+			for step := 0; step < 50; step++ {
+				prob.Step(c, w)
+			}
+			mine := make(map[sfc.Key]float64, prob.NumLocal())
+			for i, k := range prob.Local {
+				mine[k] = w.Cur[i]
+			}
+			perRank[c.Rank()] = mine
+		})
+		out := make(map[sfc.Key]float64)
+		for _, mm := range perRank {
+			for k, v := range mm {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(3)
+	for k, v := range seq {
+		if math.Abs(par[k]-v) > 1e-9*(1+math.Abs(v)) {
+			t.Fatalf("wave state differs at %v: %g vs %g", k, par[k], v)
+		}
+	}
+}
+
+func TestKernelsChangeCharging(t *testing.T) {
+	m, curve := balancedMesh(t, sfc.Hilbert, 40, 5)
+	timeFor := func(kernel Kernel) float64 {
+		mm := machine.Clemson32()
+		st := comm.Run(4, mm.CostModel(), func(c *comm.Comm) {
+			prob := waveProblem(t, c, m.Leaves, curve, kernel)
+			x := prob.NewVector()
+			y := prob.NewVector()
+			for i := 0; i < prob.NumLocal(); i++ {
+				x[i] = 1
+			}
+			for it := 0; it < 5; it++ {
+				prob.Matvec(c, x, y)
+			}
+		})
+		return st.Time()
+	}
+	if timeFor(HighOrder()) <= timeFor(Laplacian()) {
+		t.Fatal("the high-order kernel must be more expensive than the Laplacian")
+	}
+}
+
+func TestKernelPredict(t *testing.T) {
+	m := machine.Clemson32()
+	lap, ho := Laplacian(), HighOrder()
+	if ho.PredictStep(m, 1000, 100) <= lap.PredictStep(m, 1000, 100) {
+		t.Fatal("high-order kernel must predict a more expensive step")
+	}
+	// The compute:communication ratio differs between kernels, which is
+	// what makes OptiPart application-aware.
+	ratio := func(k Kernel) float64 {
+		workOnly := k.PredictStep(m, 1000, 0)
+		commOnly := k.PredictStep(m, 0, 100)
+		return workOnly / commOnly
+	}
+	if ratio(HighOrder()) <= ratio(Laplacian()) {
+		t.Fatal("high-order kernel should be relatively more compute-bound")
+	}
+}

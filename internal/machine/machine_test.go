@@ -1,0 +1,80 @@
+package machine
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", m.Name, err)
+		}
+		if got.Name != m.Name {
+			t.Fatalf("ByName(%q) returned %q", m.Name, got.Name)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("ByName of unknown machine did not error")
+	}
+}
+
+func TestParametersSane(t *testing.T) {
+	for _, m := range All() {
+		if m.Tc <= 0 || m.Ts <= 0 || m.Tw <= 0 {
+			t.Fatalf("%s: non-positive cost parameters", m.Name)
+		}
+		if m.Tw < m.Tc {
+			t.Fatalf("%s: network (tw=%g) must be slower than memory (tc=%g)", m.Name, m.Tw, m.Tc)
+		}
+		if m.Cores() != m.Nodes*m.CoresPerNode {
+			t.Fatalf("%s: inconsistent core count", m.Name)
+		}
+		if m.IdleWatts <= 0 || m.DynWatts <= 0 {
+			t.Fatalf("%s: power model not set", m.Name)
+		}
+	}
+}
+
+func TestTitanScale(t *testing.T) {
+	// The paper's largest runs use 262,144 of Titan's 299,008 cores.
+	if got := Titan().Cores(); got != 299008 {
+		t.Fatalf("Titan cores = %d, want 299008", got)
+	}
+	if got := Clemson32().Cores(); got != 1792 {
+		t.Fatalf("Clemson-32 cores = %d, want 1792 (the paper's MPI task count)", got)
+	}
+	if got := Wisconsin8().Cores(); got != 256 {
+		t.Fatalf("Wisconsin-8 cores = %d, want 256", got)
+	}
+}
+
+func TestPredictMonotonic(t *testing.T) {
+	m := Wisconsin8()
+	base := m.Predict(DefaultAlpha, 1000, 100)
+	if m.Predict(DefaultAlpha, 2000, 100) <= base {
+		t.Fatal("Predict not increasing in Wmax")
+	}
+	if m.Predict(DefaultAlpha, 1000, 200) <= base {
+		t.Fatal("Predict not increasing in Cmax")
+	}
+	if m.Predict(2*DefaultAlpha, 1000, 100) <= base {
+		t.Fatal("Predict not increasing in alpha")
+	}
+}
+
+func TestCloudLabCommunicationExpensive(t *testing.T) {
+	// On the 10 GbE CloudLab clusters trading work for communication pays
+	// off much sooner than on Titan: tw/tc must be much larger there.
+	titan := Titan()
+	clemson := Clemson32()
+	if clemson.Tw/clemson.Tc <= titan.Tw/titan.Tc {
+		t.Fatal("Clemson must be relatively more communication-bound than Titan")
+	}
+}
+
+func TestCostModelRoundTrip(t *testing.T) {
+	m := Stampede()
+	cm := m.CostModel()
+	if cm.Tc != m.Tc || cm.Ts != m.Ts || cm.Tw != m.Tw {
+		t.Fatal("CostModel dropped parameters")
+	}
+}

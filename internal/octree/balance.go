@@ -1,0 +1,68 @@
+package octree
+
+import "optipart/internal/sfc"
+
+// Balance21 enforces the 2:1 face-balance condition on a complete linear
+// octree: leaves sharing a face differ by at most one refinement level. It
+// returns a new balanced tree; the input is not modified.
+//
+// The implementation is the classic ripple propagation: repeatedly split any
+// leaf that is more than one level coarser than a face neighbor until a
+// fixed point is reached. Each round strictly refines, and levels are
+// bounded by MaxLevel, so it terminates.
+func Balance21(t *Tree) *Tree {
+	leaves := append([]sfc.Key(nil), t.Leaves...)
+	curve := t.Curve
+	for {
+		work := &Tree{Curve: curve, Leaves: leaves}
+		split := make([]bool, len(leaves))
+		any := false
+		for _, k := range leaves {
+			for _, f := range Faces(curve.Dim) {
+				nk, ok := FaceNeighbor(k, f)
+				if !ok {
+					continue
+				}
+				j := work.FindLeaf(nk)
+				if j >= 0 && int(leaves[j].Level) < int(k.Level)-1 && !split[j] {
+					split[j] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			return work
+		}
+		next := make([]sfc.Key, 0, len(leaves)+8)
+		for i, k := range leaves {
+			if !split[i] {
+				next = append(next, k)
+				continue
+			}
+			for label := 0; label < curve.NumChildren(); label++ {
+				next = append(next, k.Child(label))
+			}
+		}
+		next = Linearize(curve, next)
+		leaves = next
+	}
+}
+
+// IsBalanced21 reports whether every pair of face-adjacent leaves differs by
+// at most one level. The tree must be complete and linear.
+func IsBalanced21(t *Tree) bool {
+	for _, k := range t.Leaves {
+		for _, f := range Faces(t.Dim()) {
+			nk, ok := FaceNeighbor(k, f)
+			if !ok {
+				continue
+			}
+			if j := t.FindLeaf(nk); j >= 0 {
+				if int(k.Level)-int(t.Leaves[j].Level) > 1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package octree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"optipart/internal/sfc"
+)
+
+// The on-disk format for linear octrees: a small header followed by one
+// fixed-width record per leaf. Everything is little-endian.
+//
+//	magic   uint32  "OCT1"
+//	dim     uint8
+//	curve   uint8   (sfc.Kind)
+//	count   uint64
+//	leaves  count × (x uint32, y uint32, z uint32, level uint8)
+//
+// The format is deliberately boring: meshes move between the CLI tools and
+// test fixtures, not across architectures or versions.
+
+const codecMagic = 0x3154434f // "OCT1"
+
+// WriteTree serializes the tree to w.
+func WriteTree(w io.Writer, t *Tree) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(codecMagic)); err != nil {
+		return fmt.Errorf("octree: writing header: %w", err)
+	}
+	header := []byte{byte(t.Curve.Dim), byte(t.Curve.Kind)}
+	if _, err := bw.Write(header); err != nil {
+		return fmt.Errorf("octree: writing header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Leaves))); err != nil {
+		return fmt.Errorf("octree: writing count: %w", err)
+	}
+	var rec [13]byte
+	for _, k := range t.Leaves {
+		binary.LittleEndian.PutUint32(rec[0:], k.X)
+		binary.LittleEndian.PutUint32(rec[4:], k.Y)
+		binary.LittleEndian.PutUint32(rec[8:], k.Z)
+		rec[12] = k.Level
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("octree: writing leaf: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTree deserializes a tree written by WriteTree. The leaves are
+// validated against the declared dimension and checked for curve order.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("octree: reading header: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("octree: bad magic %#x", magic)
+	}
+	header := make([]byte, 2)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("octree: reading header: %w", err)
+	}
+	dim := int(header[0])
+	kind := sfc.Kind(header[1])
+	if dim != 2 && dim != 3 {
+		return nil, fmt.Errorf("octree: bad dimension %d", dim)
+	}
+	if kind != sfc.Morton && kind != sfc.Hilbert {
+		return nil, fmt.Errorf("octree: bad curve kind %d", kind)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("octree: reading count: %w", err)
+	}
+	const maxLeaves = 1 << 31
+	if count > maxLeaves {
+		return nil, fmt.Errorf("octree: implausible leaf count %d", count)
+	}
+	curve := sfc.NewCurve(kind, dim)
+	leaves := make([]sfc.Key, count)
+	var rec [13]byte
+	for i := range leaves {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("octree: reading leaf %d: %w", i, err)
+		}
+		k := sfc.Key{
+			X:     binary.LittleEndian.Uint32(rec[0:]),
+			Y:     binary.LittleEndian.Uint32(rec[4:]),
+			Z:     binary.LittleEndian.Uint32(rec[8:]),
+			Level: rec[12],
+		}
+		if !k.Valid(dim) {
+			return nil, fmt.Errorf("octree: invalid leaf %d: %v", i, k)
+		}
+		leaves[i] = k
+	}
+	if !IsSorted(curve, leaves) {
+		return nil, fmt.Errorf("octree: leaves not in curve order")
+	}
+	return &Tree{Curve: curve, Leaves: leaves}, nil
+}

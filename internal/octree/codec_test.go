@@ -1,0 +1,97 @@
+package octree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"optipart/internal/sfc"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+		for _, dim := range []int{2, 3} {
+			curve := sfc.NewCurve(kind, dim)
+			seeds := make([]sfc.Key, 40)
+			for i := range seeds {
+				seeds[i] = RandomPoint(rng, dim, Normal)
+			}
+			tree := &Tree{Curve: curve, Leaves: Complete(curve, seeds, 7)}
+			var buf bytes.Buffer
+			if err := WriteTree(&buf, tree); err != nil {
+				t.Fatalf("%v dim=%d: write: %v", kind, dim, err)
+			}
+			got, err := ReadTree(&buf)
+			if err != nil {
+				t.Fatalf("%v dim=%d: read: %v", kind, dim, err)
+			}
+			if got.Curve.Kind != kind || got.Curve.Dim != dim {
+				t.Fatalf("curve metadata lost: %v dim=%d", got.Curve.Kind, got.Curve.Dim)
+			}
+			if len(got.Leaves) != len(tree.Leaves) {
+				t.Fatalf("leaf count %d, want %d", len(got.Leaves), len(tree.Leaves))
+			}
+			for i := range got.Leaves {
+				if got.Leaves[i] != tree.Leaves[i] {
+					t.Fatalf("leaf %d differs: %v vs %v", i, got.Leaves[i], tree.Leaves[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCodecEmptyTree(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, &Tree{Curve: curve}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty tree read back %d leaves", got.Len())
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14},
+		"truncated": {0x4f, 0x43, 0x54, 0x31, 3, 0, 9}, // magic + dim + kind, short count
+	}
+	for name, data := range cases {
+		if _, err := ReadTree(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+	}
+}
+
+func TestCodecRejectsUnsortedLeaves(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	leaves := []sfc.Key{sfc.RootKey.Child(3), sfc.RootKey.Child(0)} // out of order
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, &Tree{Curve: curve, Leaves: leaves}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTree(&buf); err == nil {
+		t.Fatal("unsorted leaves accepted")
+	}
+}
+
+func TestCodecRejectsInvalidLeaf(t *testing.T) {
+	// Hand-craft a record with an unaligned anchor.
+	var buf bytes.Buffer
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	if err := WriteTree(&buf, &Tree{Curve: curve, Leaves: []sfc.Key{sfc.RootKey}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the leaf's X to an unaligned value (level 0 requires X = 0).
+	data[len(data)-13] = 1
+	if _, err := ReadTree(bytes.NewReader(data)); err == nil {
+		t.Fatal("invalid leaf accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/sfc"
+)
+
+func TestWeightedPartitionBalancesWeight(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	p := 8
+	// Weight doubles with the level: deep octants are twice as expensive.
+	weight := func(k sfc.Key) int64 { return int64(k.Level) }
+	perPartition := make([]int64, p)
+	comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(1500 + c.Rank())))
+		local := octree.RandomKeys(rng, 800, 3, octree.LogNormal, 2, 12)
+		res := Partition(c, local, Options{
+			Curve: curve, Mode: EqualWork, Machine: machine.Titan(), Weight: weight,
+		})
+		var w int64
+		for _, k := range res.Local {
+			w += weight(k)
+		}
+		perPartition[c.Rank()] = w
+	})
+	var total, max, min int64
+	min = 1 << 62
+	for _, w := range perPartition {
+		total += w
+		if w > max {
+			max = w
+		}
+		if w < min {
+			min = w
+		}
+	}
+	grain := float64(total) / float64(p)
+	if float64(max) > grain*1.1 || float64(min) < grain*0.9 {
+		t.Fatalf("weighted partition imbalanced: per-partition weights %v (grain %f)", perPartition, grain)
+	}
+}
+
+func TestWeightedVsUnweightedDiffer(t *testing.T) {
+	// With strongly skewed weights the splitters must move.
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	p := 4
+	var plain, weighted []sfc.Key
+	comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(1600 + c.Rank())))
+		local := octree.RandomKeys(rng, 1000, 3, octree.Uniform, 4, 10)
+		a := Partition(c, append([]sfc.Key(nil), local...), Options{
+			Curve: curve, Mode: EqualWork, Machine: machine.Titan(), SkipExchange: true,
+		})
+		b := Partition(c, append([]sfc.Key(nil), local...), Options{
+			Curve: curve, Mode: EqualWork, Machine: machine.Titan(), SkipExchange: true,
+			// Everything in the low half of x is 20x heavier.
+			Weight: func(k sfc.Key) int64 {
+				if k.X < 1<<(sfc.MaxLevel-1) {
+					return 20
+				}
+				return 1
+			},
+		})
+		if c.Rank() == 0 {
+			plain = a.Splitters.Seps
+			weighted = b.Splitters.Seps
+		}
+	})
+	same := true
+	for i := range plain {
+		if plain[i] != weighted[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("skewed weights did not move any separator")
+	}
+}
+
+func TestBottomUpHeuristicValidPartition(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	p := 8
+	perRank := 700
+	results := make([]*Result, p)
+	comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(1700 + c.Rank())))
+		local := octree.RandomKeys(rng, perRank, 3, octree.Normal, 3, 12)
+		results[c.Rank()] = BottomUpHeuristic(c, local, HeuristicOptions{
+			Curve: curve, Machine: machine.Clemson32(),
+		})
+	})
+	sp := results[0].Splitters
+	total := 0
+	for r, res := range results {
+		total += len(res.Local)
+		for _, k := range res.Local {
+			if sp.Owner(k) != r {
+				t.Fatalf("rank %d holds %v owned by %d", r, k, sp.Owner(k))
+			}
+		}
+	}
+	if total != p*perRank {
+		t.Fatalf("heuristic lost elements: %d of %d", total, p*perRank)
+	}
+	// Coarse boundaries must land on octants at least CoarsenLevels above
+	// the finest element level.
+	for _, sep := range sp.Seps {
+		if !IsInf(sep) && sep.Level > sfc.MaxLevel-1 {
+			t.Fatalf("separator %v is not a coarse octant", sep)
+		}
+	}
+}
+
+func TestHeuristicMachineOblivious(t *testing.T) {
+	// The paper's critique: the heuristic produces the same partition on
+	// every machine. Verify — and verify OptiPart does not.
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	p := 8
+	run := func(m machine.Machine, heuristic bool) []sfc.Key {
+		var seps []sfc.Key
+		comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+			rng := rand.New(rand.NewSource(int64(1800 + c.Rank())))
+			local := octree.RandomKeys(rng, 900, 3, octree.LogNormal, 2, 14)
+			var sp *Splitters
+			if heuristic {
+				sp = BottomUpHeuristic(c, local, HeuristicOptions{
+					Curve: curve, Machine: m, SkipExchange: true,
+				}).Splitters
+			} else {
+				sp = Partition(c, local, Options{
+					Curve: curve, Mode: ModelDriven, Machine: m, SkipExchange: true,
+				}).Splitters
+			}
+			if c.Rank() == 0 {
+				seps = sp.Seps
+			}
+		})
+		return seps
+	}
+	hTitan := run(machine.Titan(), true)
+	hClemson := run(machine.Clemson32(), true)
+	for i := range hTitan {
+		if hTitan[i] != hClemson[i] {
+			t.Fatalf("heuristic separators depend on the machine at %d", i)
+		}
+	}
+
+	// OptiPart, in contrast, adapts: on a structured mesh the achieved
+	// tolerance differs between a fast interconnect (refine far) and a
+	// slow one (stay coarse).
+	rng := rand.New(rand.NewSource(5))
+	mesh := octree.Balance21(octree.AdaptiveMesh(rng, 2000, 3, octree.Normal, 8))
+	const pOpti = 48 // non-aligned rank count, as in the paper's clusters
+	optiTol := func(m machine.Machine) float64 {
+		meshH := mesh.WithCurve(curve)
+		var tol float64
+		comm.Run(pOpti, comm.CostModel{}, func(c *comm.Comm) {
+			var local []sfc.Key
+			for i, k := range meshH.Leaves {
+				if i%pOpti == c.Rank() {
+					local = append(local, k)
+				}
+			}
+			res := Partition(c, local, Options{
+				Curve: curve, Mode: ModelDriven, Machine: m, SkipExchange: true,
+			})
+			if c.Rank() == 0 {
+				tol = res.AchievedTol
+			}
+		})
+		return tol
+	}
+	titanTol := optiTol(machine.Titan())
+	clemsonTol := optiTol(machine.Clemson32())
+	if titanTol >= clemsonTol {
+		t.Fatalf("OptiPart should refine further on Titan (tol %g) than on Clemson (tol %g)", titanTol, clemsonTol)
+	}
+}
+
+func TestOptiPartNotWorseThanHeuristic(t *testing.T) {
+	// On a communication-bound machine the model-driven partition's
+	// predicted step time must beat (or tie) the machine-oblivious
+	// heuristic's.
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	m := machine.Clemson32()
+	p := 16
+	var opti, heur float64
+	comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(1900 + c.Rank())))
+		local := octree.RandomKeys(rng, 600, 3, octree.Normal, 3, 12)
+		h := BottomUpHeuristic(c, append([]sfc.Key(nil), local...), HeuristicOptions{
+			Curve: curve, Machine: m, SkipExchange: true,
+		})
+		o := Partition(c, append([]sfc.Key(nil), local...), Options{
+			Curve: curve, Mode: ModelDriven, Machine: m, SkipExchange: true,
+		})
+		if c.Rank() == 0 {
+			opti, heur = o.Predicted, h.Predicted
+		}
+	})
+	if opti > heur*1.001 {
+		t.Fatalf("OptiPart predicted %g worse than the bottom-up heuristic %g", opti, heur)
+	}
+}

@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"fmt"
+
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// Mode selects the stopping rule of the splitter refinement.
+type Mode int
+
+const (
+	// EqualWork refines until every splitter is as close to r·N/p as the
+	// data allows: the standard SFC partition (a distributed TreeSort).
+	EqualWork Mode = iota
+	// FlexibleTolerance stops refining a splitter once it is within
+	// tol·N/p of its ideal rank (§3.2), leaving partition boundaries on
+	// coarser octants and thereby reducing boundary surface.
+	FlexibleTolerance
+	// ModelDriven is OptiPart (Algorithm 3): refinement continues only
+	// while the performance model Tp = α·tc·Wmax + tw·Cmax predicts an
+	// improvement, automatically finding the machine- and application-
+	// optimal tolerance.
+	ModelDriven
+)
+
+func (m Mode) String() string {
+	switch m {
+	case EqualWork:
+		return "equal-work"
+	case FlexibleTolerance:
+		return "flexible"
+	case ModelDriven:
+		return "optipart"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a partitioning run.
+type Options struct {
+	Curve *sfc.Curve
+	Mode  Mode
+
+	// Tol is the load-balance tolerance for FlexibleTolerance, as a
+	// fraction of the ideal grain N/p.
+	Tol float64
+
+	// Machine and Alpha parameterize the performance model for ModelDriven
+	// (and fill Result.Predicted in every mode).
+	Machine machine.Machine
+	Alpha   float64
+
+	// PayloadBytes is the application's wire size per ghost element for
+	// the model's communication term (0 means the default
+	// machine.GhostPayloadBytes). Together with Alpha it makes the
+	// partitioner application-aware: a compute-heavy kernel refines
+	// further than a halo-heavy one on the same mesh and machine.
+	PayloadBytes int
+
+	// MaxSplitters is the paper's k ≤ p: the maximum number of buckets
+	// refined per reduction. Zero means p.
+	MaxSplitters int
+
+	// StageWidth configures the staged all-to-all (see comm package).
+	StageWidth int
+
+	// SkipExchange computes splitters and quality without moving the
+	// elements, for experiments that only inspect partition quality.
+	SkipExchange bool
+
+	// Weight, when non-nil, gives each element a work weight; splitter
+	// targets become r·W/p over total weight W instead of element counts.
+	// Weighted partitioning is what the coarse repartition of the
+	// bottom-up heuristic (ref [35], §3) requires. The function must be
+	// pure: it is applied to local elements on every rank.
+	Weight func(sfc.Key) int64
+}
+
+// Result reports the outcome of a partitioning run on one rank.
+type Result struct {
+	// Local is the rank's elements after the exchange, in curve order
+	// (nil when SkipExchange).
+	Local []sfc.Key
+	// Splitters define the computed partition (identical on all ranks).
+	Splitters *Splitters
+	// Quality of the final partition.
+	Quality Quality
+	// Predicted is Eq. (3) evaluated on the final quality.
+	Predicted float64
+	// Rounds is the number of refinement rounds performed.
+	Rounds int
+	// AchievedTol is the realized worst deviation from r·N/p in units of
+	// N/p.
+	AchievedTol float64
+}
+
+// Partition sorts the rank's elements, selects splitters under the chosen
+// mode, and (unless SkipExchange) exchanges elements so that every rank
+// holds exactly its partition, sorted along the curve. It must be called
+// collectively by all ranks.
+func Partition(c *comm.Comm, local []sfc.Key, opts Options) *Result {
+	if opts.Alpha == 0 {
+		opts.Alpha = machine.DefaultAlpha
+	}
+	if opts.PayloadBytes == 0 {
+		opts.PayloadBytes = machine.GhostPayloadBytes
+	}
+	curve := opts.Curve
+
+	c.SetPhase("local sort")
+	psort.ChargeLocalSort(c, curve, local)
+
+	c.SetPhase("splitter")
+	sel := newSelector(c, curve, local, opts.MaxSplitters, opts.Weight)
+	var sp *Splitters
+	var achieved float64
+	switch opts.Mode {
+	case ModelDriven:
+		sp, achieved = runModelDriven(c, sel, opts)
+	default:
+		slack := int64(0)
+		if opts.Mode == FlexibleTolerance {
+			slack = int64(opts.Tol * sel.grain())
+		}
+		for sel.refineRound(slack) {
+		}
+		sp = sel.snap()
+		achieved = sel.achievedTolerance()
+	}
+
+	res := &Result{
+		Splitters:   sp,
+		Rounds:      sel.rounds,
+		AchievedTol: achieved,
+	}
+	res.Quality = EvaluateQuality(c, curve, local, sp)
+	res.Predicted = res.Quality.PredictKernel(opts.Machine, opts.Alpha, opts.PayloadBytes)
+
+	if opts.SkipExchange {
+		return res
+	}
+
+	c.SetPhase("all2all")
+	ranges := sp.Ranges(local)
+	send := make([][]sfc.Key, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		send[r] = local[ranges[r]:ranges[r+1]]
+	}
+	recv := comm.Alltoallv(c, send, psort.KeyBytes, comm.AlltoallvOptions{StageWidth: opts.StageWidth})
+
+	c.SetPhase("local sort")
+	var mine []sfc.Key
+	for _, run := range recv {
+		mine = append(mine, run...)
+	}
+	psort.ChargeLocalSort(c, curve, mine)
+	res.Local = mine
+	return res
+}
+
+// runModelDriven is the OptiPart loop of Algorithm 3. Refinement starts
+// from the coarse splitters produced by the first rounds (a high effective
+// tolerance) and descends one level per iteration; after each round the
+// model prices the induced partition, and the loop keeps the best partition
+// seen, stopping as soon as a round makes the prediction worse — the
+// "approaches the optimum from the right" behaviour of Figure 10.
+func runModelDriven(c *comm.Comm, sel *selector, opts Options) (*Splitters, float64) {
+	// Initial splitters: refine until every target has a boundary within
+	// half a grain, the coarse starting point of Algorithm 3 line 2.
+	coarse := int64(sel.grain() / 2)
+	for sel.worstDeviation() > coarse {
+		if !sel.refineRound(coarse) {
+			break
+		}
+	}
+	best := sel.snap()
+	bestTol := sel.achievedTolerance()
+	bestQ := EvaluateQuality(c, sel.curve, sel.local, best)
+	// A start so coarse that a rank owns nothing is never acceptable (the
+	// paper's tolerances keep every partition populated); refine past it.
+	for bestQ.Wmin == 0 && bestQ.N >= int64(c.Size()) {
+		if !sel.refineRound(0) {
+			break
+		}
+		best = sel.snap()
+		bestTol = sel.achievedTolerance()
+		bestQ = EvaluateQuality(c, sel.curve, sel.local, best)
+	}
+	bestT := bestQ.PredictKernel(opts.Machine, opts.Alpha, opts.PayloadBytes)
+
+	for {
+		if !sel.refineRound(0) {
+			return best, bestTol
+		}
+		cand := sel.snap()
+		q := EvaluateQuality(c, sel.curve, sel.local, cand)
+		t := q.PredictKernel(opts.Machine, opts.Alpha, opts.PayloadBytes)
+		if t > bestT {
+			// The model says further balancing costs more than it saves.
+			return best, bestTol
+		}
+		best, bestT, bestTol = cand, t, sel.achievedTolerance()
+	}
+}

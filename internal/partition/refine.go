@@ -1,0 +1,310 @@
+package partition
+
+import (
+	"optipart/internal/comm"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// bucket is one node of the induced top-down octree during splitter
+// selection. Global fields (key, state, atomic, count, start) are identical
+// on every rank because they derive from reductions; lo and hi delimit the
+// rank's local elements falling inside the bucket, which is a contiguous
+// range because the local array is sorted along the curve.
+type bucket struct {
+	key    sfc.Key
+	state  sfc.State
+	atomic bool  // self bucket or max depth: cannot be split further
+	count  int64 // global number of elements in the bucket
+	start  int64 // global rank of the bucket's first element
+	lo, hi int   // local element range
+}
+
+// selector drives the distributed splitter refinement shared by the
+// flexible-tolerance partitioner and OptiPart. It maintains the invariant
+// that buckets tile the element sequence in curve order.
+type selector struct {
+	c       *comm.Comm
+	curve   *sfc.Curve
+	local   []sfc.Key // sorted along the curve
+	weight  func(sfc.Key) int64
+	buckets []bucket
+	targets []int64 // ideal global splitter ranks r·W/p, r = 1..p-1
+	n       int64   // global work (sum of weights; element count when unweighted)
+	kmax    int     // max buckets refined per reduction (the paper's k ≤ p)
+	rounds  int
+}
+
+func newSelector(c *comm.Comm, curve *sfc.Curve, local []sfc.Key, kmax int, weight func(sfc.Key) int64) *selector {
+	if weight == nil {
+		weight = func(sfc.Key) int64 { return 1 }
+	}
+	s := &selector{c: c, curve: curve, local: local, kmax: kmax, weight: weight}
+	p := c.Size()
+	if s.kmax <= 0 {
+		s.kmax = p
+	}
+	var localW int64
+	for _, k := range local {
+		localW += weight(k)
+	}
+	s.n = comm.AllreduceScalar(c, localW, 8, comm.SumI64)
+	s.buckets = []bucket{{
+		key:   sfc.RootKey,
+		state: curve.RootState(),
+		count: s.n,
+		start: 0,
+		lo:    0,
+		hi:    len(local),
+	}}
+	s.targets = make([]int64, p-1)
+	for r := 1; r < p; r++ {
+		s.targets[r-1] = int64(r) * s.n / int64(p)
+	}
+	return s
+}
+
+// grain returns the ideal per-rank load N/p.
+func (s *selector) grain() float64 {
+	return float64(s.n) / float64(s.c.Size())
+}
+
+// worstDeviation returns the largest distance from any target to its
+// nearest available bucket boundary, in elements.
+func (s *selector) worstDeviation() int64 {
+	var worst int64
+	for _, g := range s.targets {
+		d := s.deviation(g)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// deviation returns the distance from target g to the nearest boundary.
+func (s *selector) deviation(g int64) int64 {
+	b := s.bucketContaining(g)
+	if b < 0 {
+		return 0 // g falls exactly on a boundary (or outside, clamped)
+	}
+	left := g - s.buckets[b].start
+	right := s.buckets[b].start + s.buckets[b].count - g
+	if left < right {
+		return left
+	}
+	return right
+}
+
+// bucketContaining returns the index of the bucket strictly containing
+// global rank g (start < g < start+count), or -1 when g lies on a boundary.
+func (s *selector) bucketContaining(g int64) int {
+	// Buckets are in curve order with consecutive ranges; binary search.
+	lo, hi := 0, len(s.buckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		b := &s.buckets[mid]
+		switch {
+		case g <= b.start:
+			hi = mid
+		case g >= b.start+b.count:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// refineRound splits every splittable bucket that strictly contains a
+// target whose deviation exceeds slack (in elements). It returns false when
+// nothing could be refined (all such targets sit in atomic buckets or on
+// boundaries). One reduction is issued per kmax-sized chunk of buckets, so a
+// small k bounds both the reduction payload and the O(p) scratch the paper
+// discusses in §3.1.
+func (s *selector) refineRound(slack int64) bool {
+	toSplit := s.chooseSplits(slack)
+	// All ranks derive the same toSplit from replicated global state.
+	if len(toSplit) == 0 {
+		return false
+	}
+	for lo := 0; lo < len(toSplit); lo += s.kmax {
+		hi := lo + s.kmax
+		if hi > len(toSplit) {
+			hi = len(toSplit)
+		}
+		s.splitChunk(toSplit[lo:hi])
+	}
+	s.rounds++
+	return true
+}
+
+// chooseSplits returns the indices of buckets to split this round, in
+// ascending order.
+func (s *selector) chooseSplits(slack int64) []int {
+	want := map[int]bool{}
+	for _, g := range s.targets {
+		if s.deviation(g) <= slack {
+			continue
+		}
+		b := s.bucketContaining(g)
+		if b >= 0 && !s.buckets[b].atomic {
+			want[b] = true
+		}
+	}
+	out := make([]int, 0, len(want))
+	for b := range want {
+		out = append(out, b)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// splitChunk splits the given buckets (indices ascending) one level down:
+// each becomes a self bucket (elements equal to the node itself) followed by
+// the node's children in curve order. Child counts are summed globally with
+// a single Allreduce over the chunk, the lines 6–19 of Algorithm 3.
+func (s *selector) splitChunk(idxs []int) {
+	nch := s.curve.NumChildren()
+	per := 1 + nch
+	counts := make([]int64, len(idxs)*per)
+	// Local bucketing pass: one scan of each split bucket's local range.
+	type localSplit struct{ offs []int }
+	locals := make([]localSplit, len(idxs))
+	var scanned int64
+	for i, bi := range idxs {
+		b := &s.buckets[bi]
+		level := int(b.key.Level) + 1
+		offs := make([]int, per+1)
+		// Elements equal to the node come first in pre-order; children
+		// follow in traversal-position order, contiguously.
+		j := b.lo
+		for j < b.hi && int(s.local[j].Level) < level {
+			j++
+		}
+		offs[0] = b.lo
+		offs[1] = j
+		counts[i*per] = s.weightRange(b.lo, j)
+		for pos := 0; pos < nch; pos++ {
+			start := j
+			for j < b.hi && s.curve.PosOf(b.state, s.local[j].ChildLabel(level)) == pos {
+				j++
+			}
+			offs[2+pos] = j
+			counts[i*per+1+pos] = s.weightRange(start, j)
+		}
+		locals[i].offs = offs
+		scanned += int64(b.hi - b.lo)
+	}
+	s.c.Compute(scanned * psort.KeyBytes)
+	global := comm.Allreduce(s.c, counts, 8, comm.SumI64)
+
+	// Rebuild the bucket list with the split buckets expanded.
+	next := make([]bucket, 0, len(s.buckets)+len(idxs)*nch)
+	k := 0
+	for bi := range s.buckets {
+		if k < len(idxs) && idxs[k] == bi {
+			b := s.buckets[bi]
+			offs := locals[k].offs
+			gstart := b.start
+			// Self bucket (atomic).
+			if selfCount := global[k*per]; selfCount > 0 {
+				next = append(next, bucket{
+					key: b.key, state: b.state, atomic: true,
+					count: selfCount, start: gstart,
+					lo: offs[0], hi: offs[1],
+				})
+				gstart += selfCount
+			}
+			for pos := 0; pos < nch; pos++ {
+				cnt := global[k*per+1+pos]
+				if cnt == 0 {
+					continue
+				}
+				childKey := b.key.Child(s.curve.ChildAt(b.state, pos))
+				next = append(next, bucket{
+					key:    childKey,
+					state:  s.curve.Next(b.state, pos),
+					atomic: childKey.Level >= sfc.MaxLevel,
+					count:  cnt,
+					start:  gstart,
+					lo:     offs[1+pos],
+					hi:     offs[2+pos],
+				})
+				gstart += cnt
+			}
+			k++
+			continue
+		}
+		next = append(next, s.buckets[bi])
+	}
+	s.buckets = next
+}
+
+// weightRange sums the weights of local elements in [lo, hi).
+func (s *selector) weightRange(lo, hi int) int64 {
+	var w int64
+	for i := lo; i < hi; i++ {
+		w += s.weight(s.local[i])
+	}
+	return w
+}
+
+// snap fixes every target at its nearest available boundary and returns the
+// resulting separators. A boundary is the start key of a bucket, or InfKey
+// for the end of the sequence.
+func (s *selector) snap() *Splitters {
+	seps := make([]sfc.Key, len(s.targets))
+	for i, g := range s.targets {
+		seps[i] = s.boundaryKeyNear(g)
+	}
+	return &Splitters{Curve: s.curve, Seps: seps}
+}
+
+// boundaryKeyNear returns the separator key of the boundary nearest to
+// global rank g.
+func (s *selector) boundaryKeyNear(g int64) sfc.Key {
+	b := s.bucketContaining(g)
+	if b < 0 {
+		// g lies exactly on a boundary: the bucket starting at g, or the
+		// end sentinel.
+		for lo, hi := 0, len(s.buckets); lo < hi; {
+			mid := (lo + hi) / 2
+			switch {
+			case s.buckets[mid].start < g:
+				lo = mid + 1
+			case s.buckets[mid].start > g:
+				hi = mid
+			default:
+				return s.buckets[mid].key
+			}
+		}
+		return InfKey
+	}
+	left := g - s.buckets[b].start
+	right := s.buckets[b].start + s.buckets[b].count - g
+	if left <= right {
+		return s.buckets[b].key
+	}
+	if b+1 < len(s.buckets) {
+		return s.buckets[b+1].key
+	}
+	return InfKey
+}
+
+// achievedTolerance returns the worst relative deviation of the snapped
+// boundaries from the ideal ranks, in units of N/p.
+func (s *selector) achievedTolerance() float64 {
+	if s.grain() == 0 {
+		return 0
+	}
+	return float64(s.worstDeviation()) / s.grain()
+}

@@ -1,0 +1,68 @@
+// Package partition implements the paper's primary contribution: SFC-based
+// partitioning with flexible load balance (§3.2), the PartitionQuality
+// estimator of Algorithm 2, and the architecture- and application-aware
+// OptiPart of Algorithm 3.
+//
+// All algorithms run under the internal/comm SPMD runtime, so every
+// reduction and all-to-all is a real collective with modeled cost, and the
+// resulting partitions are identical to what the distributed C++/MPI
+// implementation would produce given the same inputs.
+package partition
+
+import (
+	"sort"
+
+	"optipart/internal/sfc"
+)
+
+// InfKey is the sentinel separator meaning "after every key"; a rank whose
+// range starts at InfKey owns nothing. It never reaches curve comparisons.
+var InfKey = sfc.Key{X: ^uint32(0), Y: ^uint32(0), Z: ^uint32(0), Level: ^uint8(0)}
+
+// IsInf reports whether k is the sentinel separator.
+func IsInf(k sfc.Key) bool { return k == InfKey }
+
+// Splitters defines a partition of the curve into p contiguous ranges:
+// rank 0 owns keys before Seps[0], rank r owns [Seps[r-1], Seps[r]), and
+// rank p-1 owns everything from Seps[p-2] on. Separators are octant keys —
+// partition boundaries always fall on octree node boundaries, which is what
+// lets a coarse boundary reduce surface area.
+type Splitters struct {
+	Curve *sfc.Curve
+	Seps  []sfc.Key // p-1 separators, non-decreasing in curve order
+}
+
+// P returns the number of partitions.
+func (s *Splitters) P() int { return len(s.Seps) + 1 }
+
+// Owner returns the partition owning key k: the number of separators at or
+// before k in curve order.
+func (s *Splitters) Owner(k sfc.Key) int {
+	return sort.Search(len(s.Seps), func(i int) bool {
+		if IsInf(s.Seps[i]) {
+			return true // infinity is after every key
+		}
+		return s.Curve.Compare(s.Seps[i], k) > 0
+	})
+}
+
+// Ranges returns the p+1 boundaries of the owner ranges within a local
+// array already sorted in curve order: rank r's elements are
+// sorted[out[r]:out[r+1]].
+func (s *Splitters) Ranges(sorted []sfc.Key) []int {
+	p := s.P()
+	out := make([]int, p+1)
+	out[p] = len(sorted)
+	for r := 1; r < p; r++ {
+		sep := s.Seps[r-1]
+		if IsInf(sep) {
+			out[r] = len(sorted)
+			continue
+		}
+		lo := out[r-1]
+		out[r] = lo + sort.Search(len(sorted)-lo, func(i int) bool {
+			return s.Curve.Compare(sorted[lo+i], sep) >= 0
+		})
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Package power simulates the energy-measurement methodology of §4.1: every
+// node's instantaneous power draw is sampled at 1 Hz (as the paper does with
+// on-board IPMI sensors), the samples carry sensor noise, and per-job energy
+// is the integral of the sampled trace over the job's duration.
+//
+// The underlying truth signal comes from the same model the paper argues
+// for: node power is idle draw plus a dynamic term proportional to
+// utilization, so energy correlates strongly with runtime and with the
+// amount of communication-induced idling.
+package power
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optipart/internal/machine"
+)
+
+// NodeActivity describes one node's behaviour during a job: how many
+// rank-seconds of useful work its ranks performed, out of ranks×duration
+// available.
+type NodeActivity struct {
+	BusySeconds float64 // summed across the node's ranks
+	Ranks       int
+}
+
+// Job is a simulated job for energy accounting.
+type Job struct {
+	Machine  machine.Machine
+	Duration float64 // seconds (modeled wall-clock)
+	Nodes    []NodeActivity
+}
+
+// Utilization returns the node's average utilization in [0,1].
+func (j *Job) Utilization(node int) float64 {
+	a := j.Nodes[node]
+	if a.Ranks == 0 || j.Duration <= 0 {
+		return 0
+	}
+	u := a.BusySeconds / (float64(a.Ranks) * j.Duration)
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// TruePower returns the noiseless instantaneous power draw of a node in
+// Watts under the idle+dynamic model.
+func (j *Job) TruePower(node int) float64 {
+	m := j.Machine
+	return m.IdleWatts + m.DynWatts*j.Utilization(node)
+}
+
+// Measurement is the result of sampling one job.
+type Measurement struct {
+	NodeEnergy []float64 // Joules per node, integrated from samples
+	Samples    int       // number of 1 Hz samples per node
+}
+
+// TotalEnergy returns the job's total energy across nodes in Joules.
+func (m *Measurement) TotalEnergy() float64 {
+	var e float64
+	for _, v := range m.NodeEnergy {
+		e += v
+	}
+	return e
+}
+
+// SensorNoiseWatts is the standard deviation of the simulated IPMI sensor
+// error. Hackenberg et al. (the paper's ref [14]) find IPMI accurate for
+// loads that do not vary near the sampling rate; a few Watts of jitter
+// models the residual error.
+const SensorNoiseWatts = 3.0
+
+// Measure samples the job's nodes at 1 Hz with sensor noise and integrates
+// per-node energy, exactly as the paper combines recorded power traces with
+// scheduler start/end timestamps. The rng makes the sensor noise
+// reproducible. Jobs shorter than one sample interval are integrated over
+// their true duration (the paper notes short jobs are hard to estimate; we
+// keep at least one sample).
+func Measure(j *Job, rng *rand.Rand) *Measurement {
+	samples := int(j.Duration)
+	if samples < 1 {
+		samples = 1
+	}
+	dt := j.Duration / float64(samples)
+	out := &Measurement{NodeEnergy: make([]float64, len(j.Nodes)), Samples: samples}
+	for n := range j.Nodes {
+		truth := j.TruePower(n)
+		var joules float64
+		for s := 0; s < samples; s++ {
+			reading := truth + SensorNoiseWatts*rng.NormFloat64()
+			if reading < 0 {
+				reading = 0
+			}
+			joules += reading * dt
+		}
+		out.NodeEnergy[n] = joules
+	}
+	return out
+}
+
+// JobFromRankTimes builds a Job from per-rank busy times (seconds of
+// modeled compute per rank) and the modeled wall-clock duration, assigning
+// ranks to nodes in contiguous blocks of Machine.CoresPerNode — the standard
+// block mapping used by SLURM and by the paper's clusters.
+func JobFromRankTimes(m machine.Machine, busy []float64, duration float64) *Job {
+	perNode := m.CoresPerNode
+	nNodes := (len(busy) + perNode - 1) / perNode
+	job := &Job{Machine: m, Duration: duration, Nodes: make([]NodeActivity, nNodes)}
+	for r, b := range busy {
+		node := r / perNode
+		job.Nodes[node].BusySeconds += b
+		job.Nodes[node].Ranks++
+	}
+	return job
+}
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job on %s: %.1fs across %d nodes", j.Machine.Name, j.Duration, len(j.Nodes))
+}

@@ -1,0 +1,118 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"optipart/internal/machine"
+)
+
+func TestMeasureApproximatesTruth(t *testing.T) {
+	m := machine.Wisconsin8()
+	job := &Job{
+		Machine:  m,
+		Duration: 600, // 10 minutes, within the paper's 2-14 minute job range
+		Nodes: []NodeActivity{
+			{BusySeconds: 600 * 32 * 0.9, Ranks: 32}, // 90% utilized
+			{BusySeconds: 600 * 32 * 0.5, Ranks: 32}, // 50% utilized
+		},
+	}
+	meas := Measure(job, rand.New(rand.NewSource(1)))
+	for n := range job.Nodes {
+		want := job.TruePower(n) * job.Duration
+		got := meas.NodeEnergy[n]
+		if math.Abs(got-want)/want > 0.01 {
+			t.Fatalf("node %d: measured %f J, truth %f J (>1%% off with 600 samples)", n, got, want)
+		}
+	}
+	if meas.Samples != 600 {
+		t.Fatalf("samples = %d, want 600", meas.Samples)
+	}
+}
+
+func TestHigherUtilizationMoreEnergy(t *testing.T) {
+	m := machine.Clemson32()
+	job := &Job{Machine: m, Duration: 300, Nodes: []NodeActivity{
+		{BusySeconds: 300 * 56 * 1.0, Ranks: 56},
+		{BusySeconds: 300 * 56 * 0.2, Ranks: 56},
+	}}
+	meas := Measure(job, rand.New(rand.NewSource(2)))
+	if meas.NodeEnergy[0] <= meas.NodeEnergy[1] {
+		t.Fatal("busier node must consume more energy")
+	}
+}
+
+func TestLongerJobMoreEnergy(t *testing.T) {
+	// The paper's central energy claim: runtime and energy are strongly
+	// correlated at fixed utilization.
+	m := machine.Wisconsin8()
+	mk := func(dur float64) float64 {
+		job := &Job{Machine: m, Duration: dur, Nodes: []NodeActivity{
+			{BusySeconds: dur * 32 * 0.8, Ranks: 32},
+		}}
+		return Measure(job, rand.New(rand.NewSource(3))).TotalEnergy()
+	}
+	if mk(400) <= mk(200) {
+		t.Fatal("longer job must consume more energy")
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	job := &Job{Machine: machine.Wisconsin8(), Duration: 10, Nodes: []NodeActivity{
+		{BusySeconds: 1e9, Ranks: 1}, // overfull
+		{BusySeconds: -5, Ranks: 1},  // negative
+		{BusySeconds: 0, Ranks: 0},   // empty node
+	}}
+	if u := job.Utilization(0); u != 1 {
+		t.Fatalf("overfull utilization = %f, want 1", u)
+	}
+	if u := job.Utilization(1); u != 0 {
+		t.Fatalf("negative utilization = %f, want 0", u)
+	}
+	if u := job.Utilization(2); u != 0 {
+		t.Fatalf("empty node utilization = %f, want 0", u)
+	}
+}
+
+func TestJobFromRankTimes(t *testing.T) {
+	m := machine.Wisconsin8() // 32 ranks per node
+	busy := make([]float64, 80)
+	for i := range busy {
+		busy[i] = 1
+	}
+	job := JobFromRankTimes(m, busy, 10)
+	if len(job.Nodes) != 3 {
+		t.Fatalf("80 ranks on 32-rank nodes: %d nodes, want 3", len(job.Nodes))
+	}
+	if job.Nodes[0].Ranks != 32 || job.Nodes[2].Ranks != 16 {
+		t.Fatalf("rank placement wrong: %+v", job.Nodes)
+	}
+	if job.Nodes[0].BusySeconds != 32 {
+		t.Fatalf("node 0 busy = %f, want 32", job.Nodes[0].BusySeconds)
+	}
+}
+
+func TestShortJobStillSampled(t *testing.T) {
+	job := &Job{Machine: machine.Wisconsin8(), Duration: 0.25, Nodes: []NodeActivity{
+		{BusySeconds: 0.25, Ranks: 1},
+	}}
+	meas := Measure(job, rand.New(rand.NewSource(4)))
+	if meas.Samples != 1 {
+		t.Fatalf("short job samples = %d, want 1", meas.Samples)
+	}
+	if meas.NodeEnergy[0] <= 0 {
+		t.Fatal("short job has zero energy")
+	}
+}
+
+func TestMeasureDeterministicWithSeed(t *testing.T) {
+	job := &Job{Machine: machine.Clemson32(), Duration: 120, Nodes: []NodeActivity{
+		{BusySeconds: 120 * 56 * 0.7, Ranks: 56},
+	}}
+	a := Measure(job, rand.New(rand.NewSource(9))).TotalEnergy()
+	b := Measure(job, rand.New(rand.NewSource(9))).TotalEnergy()
+	if a != b {
+		t.Fatalf("same seed, different energies: %f vs %f", a, b)
+	}
+}

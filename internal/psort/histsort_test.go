@@ -1,0 +1,110 @@
+package psort
+
+import (
+	"math/rand"
+	"testing"
+
+	"optipart/internal/comm"
+	"optipart/internal/octree"
+	"optipart/internal/sfc"
+)
+
+func TestHistogramSortGlobalOrder(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+			curve := sfc.NewCurve(kind, 3)
+			perRank := make([][]sfc.Key, p)
+			comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+				rng := rand.New(rand.NewSource(int64(2100 + c.Rank())))
+				local := octree.RandomKeys(rng, 700+13*c.Rank(), 3, octree.LogNormal, 1, 14)
+				perRank[c.Rank()] = HistogramSort(c, local, HistogramSortOptions{Curve: curve})
+			})
+			total := 0
+			var prevLast *sfc.Key
+			for r := 0; r < p; r++ {
+				run := perRank[r]
+				total += len(run)
+				if !IsSorted(curve, run) {
+					t.Fatalf("p=%d %v: rank %d run not sorted", p, kind, r)
+				}
+				if prevLast != nil && len(run) > 0 && curve.Less(run[0], *prevLast) {
+					t.Fatalf("p=%d %v: rank %d starts before rank %d ends", p, kind, r, r-1)
+				}
+				if len(run) > 0 {
+					last := run[len(run)-1]
+					prevLast = &last
+				}
+			}
+			want := 0
+			for r := 0; r < p; r++ {
+				want += 700 + 13*r
+			}
+			if total != want {
+				t.Fatalf("p=%d %v: %d elements, want %d", p, kind, total, want)
+			}
+		}
+	}
+}
+
+func TestHistogramSortBalance(t *testing.T) {
+	p := 8
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	sizes := make([]int, p)
+	comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(2200 + c.Rank())))
+		local := octree.RandomKeys(rng, 3000, 3, octree.Normal, 2, 16)
+		out := HistogramSort(c, local, HistogramSortOptions{Curve: curve, Tolerance: 0.02})
+		sizes[c.Rank()] = len(out)
+	})
+	grain := float64(p*3000) / float64(p)
+	for r, s := range sizes {
+		// The ε-tolerance bounds each boundary by ε·N/p, so sizes stay
+		// within (1 ± 2ε)·grain plus duplication effects.
+		if float64(s) > grain*1.1 || float64(s) < grain*0.9 {
+			t.Fatalf("rank %d holds %d elements, grain %f: outside the ε band (sizes %v)", r, s, grain, sizes)
+		}
+	}
+}
+
+func TestHistogramSortPhases(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	model := comm.CostModel{Tc: 1e-9, Ts: 1e-5, Tw: 1e-8}
+	stats := comm.Run(4, model, func(c *comm.Comm) {
+		rng := rand.New(rand.NewSource(int64(2300 + c.Rank())))
+		local := octree.RandomKeys(rng, 1000, 3, octree.Uniform, 1, 12)
+		HistogramSort(c, local, HistogramSortOptions{Curve: curve})
+	})
+	for _, phase := range []string{"local sort", "splitter", "all2all"} {
+		if stats.Phase(phase) <= 0 {
+			t.Fatalf("phase %q has no modeled time", phase)
+		}
+	}
+}
+
+func TestHistogramSortAllEqualKeys(t *testing.T) {
+	// Degenerate input: every element identical. Balance is impossible but
+	// the sort must terminate and preserve the data.
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	k := sfc.Key{X: 1 << 27, Y: 1 << 26, Z: 1 << 25, Level: sfc.MaxLevel}
+	total := 0
+	counts := make([]int, 3)
+	comm.Run(3, comm.CostModel{}, func(c *comm.Comm) {
+		local := make([]sfc.Key, 100)
+		for i := range local {
+			local[i] = k
+		}
+		out := HistogramSort(c, local, HistogramSortOptions{Curve: curve, MaxRounds: 3})
+		counts[c.Rank()] = len(out)
+		for _, got := range out {
+			if got != k {
+				t.Errorf("rank %d: data corrupted", c.Rank())
+			}
+		}
+	})
+	for _, n := range counts {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("lost elements: %d of 300", total)
+	}
+}

@@ -1,0 +1,83 @@
+package psort
+
+import (
+	"sort"
+
+	"optipart/internal/comm"
+	"optipart/internal/sfc"
+)
+
+// SampleSortOptions tunes the baseline sorter.
+type SampleSortOptions struct {
+	Curve *sfc.Curve
+	// StageWidth is passed to the all-to-all exchange (see
+	// comm.AlltoallvOptions).
+	StageWidth int
+}
+
+// SampleSort is the Dendro-style baseline: a parallel sort by regular
+// sampling (Frazer & McKellar, the paper's ref [11]) over SFC-ordered keys.
+// It load-balances to N/p ± p but is oblivious to the machine and to the
+// communication costs of whatever computation follows — the partition is
+// whatever the sort produces. Phases are labeled "local sort", "splitter",
+// and "all2all" to match the breakdown in Figure 6.
+//
+// It returns this rank's slice of the globally sorted sequence.
+func SampleSort(c *comm.Comm, local []sfc.Key, opts SampleSortOptions) []sfc.Key {
+	curve := opts.Curve
+	p := c.Size()
+
+	c.SetPhase("local sort")
+	ChargeLocalSort(c, curve, local)
+	if p == 1 {
+		return local
+	}
+
+	// Regular sampling: p-1 evenly spaced keys from the sorted local run.
+	c.SetPhase("splitter")
+	samples := make([]sfc.Key, 0, p-1)
+	for i := 1; i < p; i++ {
+		idx := i * len(local) / p
+		if idx < len(local) {
+			samples = append(samples, local[idx])
+		}
+	}
+	all := comm.Allgather(c, samples, KeyBytes)
+	sort.Slice(all, func(i, j int) bool { return curve.Less(all[i], all[j]) })
+	c.Compute(LocalSortCost(len(all), curve.Dim))
+	splitters := make([]sfc.Key, 0, p-1)
+	for i := 1; i < p; i++ {
+		idx := i * len(all) / p
+		if idx < len(all) {
+			splitters = append(splitters, all[idx])
+		}
+	}
+
+	// Bucket the sorted local run by splitter and exchange.
+	send := make([][]sfc.Key, p)
+	lo := 0
+	for r := 0; r < p; r++ {
+		hi := len(local)
+		if r < len(splitters) {
+			s := splitters[r]
+			hi = lo + sort.Search(len(local)-lo, func(i int) bool {
+				return !curve.Less(local[lo+i], s)
+			})
+		}
+		send[r] = local[lo:hi]
+		lo = hi
+	}
+	c.Compute(int64(len(local)) * KeyBytes) // one scan to split into buckets
+
+	c.SetPhase("all2all")
+	recv := comm.Alltoallv(c, send, KeyBytes, comm.AlltoallvOptions{StageWidth: opts.StageWidth})
+
+	// Merge the p sorted runs.
+	c.SetPhase("local sort")
+	var out []sfc.Key
+	for _, run := range recv {
+		out = append(out, run...)
+	}
+	ChargeLocalSort(c, curve, out)
+	return out
+}

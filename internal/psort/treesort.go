@@ -1,0 +1,125 @@
+// Package psort implements the sorting algorithms of the paper: the
+// sequential TreeSort of Algorithm 1 (an MSD radix sort whose buckets are
+// octree nodes visited in SFC order) and the parallel SampleSort baseline
+// used by Dendro, against which OptiPart is compared in §5.2.
+package psort
+
+import (
+	"math"
+
+	"optipart/internal/comm"
+	"optipart/internal/sfc"
+)
+
+// KeyBytes is the in-memory size of one element (an sfc.Key), used for the
+// cost model's byte accounting.
+const KeyBytes = 16
+
+// insertionCutoff is the bucket size below which TreeSort switches to
+// insertion sort; tiny buckets are cheaper to finish with comparisons than
+// with another counting pass.
+const insertionCutoff = 24
+
+// TreeSort reorders keys in place into curve order (Algorithm 1). It is a
+// most-significant-digit radix sort: bucketing on the children of the
+// current tree node, with buckets permuted by the curve's Rh, is exactly a
+// top-down octree construction (Figure 1 of the paper). Elements that *are*
+// the current node (coarser regions) sort before all of the node's
+// descendants, preserving pre-order.
+func TreeSort(curve *sfc.Curve, keys []sfc.Key) {
+	if len(keys) < 2 {
+		return
+	}
+	scratch := make([]sfc.Key, len(keys))
+	treeSortRec(curve, keys, scratch, 1, curve.RootState())
+}
+
+func treeSortRec(curve *sfc.Curve, a, scratch []sfc.Key, level int, st sfc.State) {
+	if len(a) < 2 || level > sfc.MaxLevel {
+		return
+	}
+	if len(a) <= insertionCutoff {
+		insertionSort(curve, a)
+		return
+	}
+	nch := curve.NumChildren()
+	// Bucket 0 holds elements equal to the current node (Level < level);
+	// bucket 1+pos holds the child visited at traversal position pos.
+	var counts [9]int
+	for _, k := range a {
+		counts[bucketOf(curve, st, k, level)]++
+	}
+	var offs [10]int
+	for b := 0; b <= nch; b++ {
+		offs[b+1] = offs[b] + counts[b]
+	}
+	starts := offs // copy: offs is mutated below
+	for _, k := range a {
+		b := bucketOf(curve, st, k, level)
+		scratch[starts[b]] = k
+		starts[b]++
+	}
+	copy(a, scratch[:len(a)])
+	for pos := 0; pos < nch; pos++ {
+		lo, hi := offs[1+pos], offs[2+pos]
+		if hi-lo > 1 {
+			treeSortRec(curve, a[lo:hi], scratch[lo:hi], level+1, curve.Next(st, pos))
+		}
+	}
+}
+
+// bucketOf returns the TreeSort bucket of key k at the given subdivision
+// level within a node of state st.
+func bucketOf(curve *sfc.Curve, st sfc.State, k sfc.Key, level int) int {
+	if int(k.Level) < level {
+		return 0
+	}
+	return 1 + curve.PosOf(st, k.ChildLabel(level))
+}
+
+func insertionSort(curve *sfc.Curve, a []sfc.Key) {
+	for i := 1; i < len(a); i++ {
+		k := a[i]
+		j := i - 1
+		for j >= 0 && curve.Less(k, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = k
+	}
+}
+
+// LocalSortCost returns the modeled memory traffic in bytes of TreeSorting n
+// local elements: one read+write pass per effective level, with the number
+// of effective levels bounded by the depth at which buckets become
+// singletons (log_{2^dim} n) and by the tree depth.
+func LocalSortCost(n int, dim int) int64 {
+	if n < 2 {
+		return 0
+	}
+	levels := math.Ceil(math.Log2(float64(n)) / float64(dim))
+	if levels > sfc.MaxLevel {
+		levels = sfc.MaxLevel
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	return int64(2*n*KeyBytes) * int64(levels)
+}
+
+// IsSorted reports whether keys are in curve order.
+func IsSorted(curve *sfc.Curve, keys []sfc.Key) bool {
+	for i := 1; i < len(keys); i++ {
+		if curve.Less(keys[i], keys[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChargeLocalSort performs a local TreeSort and charges its modeled cost to
+// the rank's clock.
+func ChargeLocalSort(c *comm.Comm, curve *sfc.Curve, keys []sfc.Key) {
+	TreeSort(curve, keys)
+	c.Compute(LocalSortCost(len(keys), curve.Dim))
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 123456)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All data rows start their second column at the same offset.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "123456")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, buf.String())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add(1)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if strings.HasPrefix(buf.String(), "#") {
+		t.Fatal("empty title printed")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{123.456, "123.5"},
+		{1e7, "1.000e+07"},
+		{1e-5, "1.000e-05"},
+		{-2.25, "-2.25"},
+	}
+	for _, c := range cases {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(100, 78); got != "-22.0%" {
+		t.Fatalf("Pct(100, 78) = %q", got)
+	}
+	if got := Pct(100, 122); got != "+22.0%" {
+		t.Fatalf("Pct(100, 122) = %q", got)
+	}
+	if got := Pct(0, 5); got != "n/a" {
+		t.Fatalf("Pct(0, 5) = %q", got)
+	}
+}
+
+func TestFloatsFormattedInRows(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.Add(3.14159265)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if !strings.Contains(buf.String(), "3.142") {
+		t.Fatalf("float not compacted: %s", buf.String())
+	}
+}

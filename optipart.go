@@ -1,0 +1,217 @@
+// Package optipart is a Go implementation of OptiPart — the machine- and
+// application-aware space-filling-curve partitioner for adaptive mesh
+// refinement of Fernando, Duplyakin & Sundar, "Machine and Application
+// Aware Partitioning for Adaptive Mesh Refinement Applications" (HPDC'17) —
+// together with every substrate the paper's evaluation depends on: Morton
+// and Hilbert curves over linear octrees, a TreeSort-based distributed
+// partitioner with flexible load-balance tolerance, the performance model
+// Tp = α·tc·Wmax + tw·Cmax, an SPMD runtime standing in for MPI, machine
+// models for the paper's four clusters, a ghost-layer/communication-matrix
+// layer, an adaptive FEM matvec application, and a power/energy simulator.
+//
+// # Quick start
+//
+//	curve := optipart.NewCurve(optipart.Hilbert, 3)
+//	m := optipart.Clemson32()
+//	optipart.Run(64, m, func(c *optipart.Comm) {
+//	    keys := optipart.RandomKeys(rand.New(rand.NewSource(int64(c.Rank()))),
+//	        100000, 3, optipart.Normal, 2, 18)
+//	    res := optipart.Partition(c, keys, optipart.Options{
+//	        Curve: curve,
+//	        Mode:  optipart.ModelDriven, // OptiPart: let the model pick the tolerance
+//	        Machine: m,
+//	    })
+//	    // res.Local is this rank's partition, sorted along the curve.
+//	})
+//
+// The deeper layers are exposed through type aliases, so the whole public
+// surface is documented on the aliased types.
+package optipart
+
+import (
+	"math/rand"
+
+	"optipart/internal/comm"
+	"optipart/internal/fem"
+	"optipart/internal/machine"
+	"optipart/internal/mesh"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/power"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// Key identifies an octant: anchor coordinates on the 2^MaxLevel grid plus
+// a refinement level.
+type Key = sfc.Key
+
+// MaxLevel is the maximum octree depth (Dmax = 30, as in the paper).
+const MaxLevel = sfc.MaxLevel
+
+// Curve is a space-filling curve (Morton or Hilbert, 2D or 3D).
+type Curve = sfc.Curve
+
+// CurveKind selects the curve family.
+type CurveKind = sfc.Kind
+
+// Curve kinds.
+const (
+	Morton  = sfc.Morton
+	Hilbert = sfc.Hilbert
+)
+
+// NewCurve builds a curve of the given kind for dim ∈ {2, 3} dimensions.
+func NewCurve(kind CurveKind, dim int) *Curve { return sfc.NewCurve(kind, dim) }
+
+// Tree is a linear octree (sorted leaves, no ancestor pairs).
+type Tree = octree.Tree
+
+// Distribution selects the spatial distribution of generated octants.
+type Distribution = octree.Distribution
+
+// Input distributions (§4.2 of the paper).
+const (
+	Uniform   = octree.Uniform
+	Normal    = octree.Normal
+	LogNormal = octree.LogNormal
+)
+
+// RandomKeys generates n random octant keys — the element streams the
+// partitioning algorithms ingest.
+func RandomKeys(rng *rand.Rand, n, dim int, dist Distribution, minLevel, maxLevel uint8) []Key {
+	return octree.RandomKeys(rng, n, dim, dist, minLevel, maxLevel)
+}
+
+// AdaptiveMesh builds a complete linear octree refined around nSeeds random
+// points; Balance21 makes it 2:1 face-balanced for FEM use.
+func AdaptiveMesh(rng *rand.Rand, nSeeds, dim int, dist Distribution, maxLevel uint8) *Tree {
+	return octree.AdaptiveMesh(rng, nSeeds, dim, dist, maxLevel)
+}
+
+// Balance21 enforces the 2:1 face-balance condition.
+func Balance21(t *Tree) *Tree { return octree.Balance21(t) }
+
+// Machine is a cluster model: cost parameters (tc, ts, tw), topology, and
+// node power characteristics.
+type Machine = machine.Machine
+
+// The four machines of the paper's evaluation.
+func Titan() Machine      { return machine.Titan() }
+func Stampede() Machine   { return machine.Stampede() }
+func Clemson32() Machine  { return machine.Clemson32() }
+func Wisconsin8() Machine { return machine.Wisconsin8() }
+
+// DefaultAlpha is the memory-access count per unit of work for stencil-like
+// applications (α ≈ 8, §3.3).
+const DefaultAlpha = machine.DefaultAlpha
+
+// Comm is one rank's handle to the SPMD world (the MPI communicator of the
+// paper). Stats carries the modeled times and traffic of a run.
+type (
+	Comm  = comm.Comm
+	Stats = comm.Stats
+)
+
+// Run executes f on p ranks under the machine's cost model and returns the
+// run's modeled statistics. It is the entry point to everything collective.
+func Run(p int, m Machine, f func(c *Comm)) *Stats {
+	return comm.Run(p, m.CostModel(), f)
+}
+
+// Trace is a per-rank virtual timeline of a traced run.
+type Trace = comm.Trace
+
+// RunTraced is Run with event recording; render the result with
+// comm.RenderTimeline for an ASCII Gantt chart of compute vs collective
+// time per rank.
+func RunTraced(p int, m Machine, f func(c *Comm)) (*Stats, *Trace) {
+	return comm.RunTraced(p, m.CostModel(), f)
+}
+
+// Partitioning modes.
+const (
+	// EqualWork is the standard SFC partition (distributed TreeSort).
+	EqualWork = partition.EqualWork
+	// FlexibleTolerance trades up to Tol·N/p of imbalance for boundary
+	// reduction (§3.2).
+	FlexibleTolerance = partition.FlexibleTolerance
+	// ModelDriven is OptiPart (Algorithm 3).
+	ModelDriven = partition.ModelDriven
+)
+
+// Options configures Partition; Result reports its outcome; Quality is the
+// partition-quality summary of Algorithm 2; Splitters define the computed
+// ranges.
+type (
+	Options   = partition.Options
+	Result    = partition.Result
+	Quality   = partition.Quality
+	Splitters = partition.Splitters
+	Mode      = partition.Mode
+)
+
+// Partition sorts, selects splitters under the chosen mode, and exchanges
+// elements so every rank holds its partition. Collective.
+func Partition(c *Comm, local []Key, opts Options) *Result {
+	return partition.Partition(c, local, opts)
+}
+
+// EvaluateQuality is Algorithm 2: work and boundary extrema of a candidate
+// partition, from one local pass and one reduction. Collective.
+func EvaluateQuality(c *Comm, curve *Curve, local []Key, sp *Splitters) Quality {
+	return partition.EvaluateQuality(c, curve, local, sp)
+}
+
+// TreeSort reorders keys in place into curve order (Algorithm 1).
+func TreeSort(curve *Curve, keys []Key) { psort.TreeSort(curve, keys) }
+
+// SampleSort is the Dendro-style baseline partitioner/sorter. Collective.
+func SampleSort(c *Comm, local []Key, curve *Curve) []Key {
+	return psort.SampleSort(c, local, psort.SampleSortOptions{Curve: curve})
+}
+
+// Ghost is a rank's halo layer; CommMatrix is the communication matrix M of
+// §5.5.
+type (
+	Ghost      = mesh.Ghost
+	CommMatrix = mesh.Matrix
+)
+
+// BuildGhost constructs the halo for a partitioned, 2:1-balanced complete
+// tree. Collective.
+func BuildGhost(c *Comm, local []Key, sp *Splitters) *Ghost {
+	return mesh.Build(c, local, sp, 1)
+}
+
+// GatherCommMatrix assembles the global communication matrix. Collective.
+func GatherCommMatrix(c *Comm, g *Ghost) *CommMatrix {
+	return mesh.GatherMatrix(c, g)
+}
+
+// Problem is the distributed adaptive Laplacian of §5.3 (matvec, CG).
+type Problem = fem.Problem
+
+// SetupPoisson builds the distributed operator on a partitioned mesh.
+// Collective.
+func SetupPoisson(c *Comm, local []Key, sp *Splitters) *Problem {
+	return fem.Setup(c, local, sp, 1)
+}
+
+// RunMatvecs applies the operator iters times (the paper's measurement
+// loop). Collective.
+func RunMatvecs(c *Comm, p *Problem, iters int, seed int64) fem.CampaignResult {
+	return fem.RunCampaign(c, p, iters, seed)
+}
+
+// Energy measurement (the §4.1 methodology).
+type (
+	PowerJob         = power.Job
+	PowerMeasurement = power.Measurement
+)
+
+// MeasureEnergy simulates the 1 Hz IPMI sampling of a job built from
+// per-rank busy times and a modeled duration.
+func MeasureEnergy(m Machine, busy []float64, duration float64, rng *rand.Rand) *PowerMeasurement {
+	return power.Measure(power.JobFromRankTimes(m, busy, duration), rng)
+}
