@@ -6,6 +6,7 @@
 //
 //	experiments -list
 //	experiments -run fig7
+//	experiments -run faults   # rank-failure recovery campaign
 //	experiments -run all -quick
 package main
 

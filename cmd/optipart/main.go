@@ -6,6 +6,12 @@
 //
 //	optipart -p 64 -n 200000 -machine Clemson-32 -curve hilbert -mode optipart
 //	optipart -p 64 -n 200000 -mode flexible -tol 0.3
+//	optipart -p 64 -n 200000 -kill 3@40 -straggler 5@2.5,1.5
+//
+// -kill and -straggler run the partition under the checked fault-injected
+// runtime: a killed rank tears the world down with a structured error
+// instead of hanging it, and stragglers stretch the affected ranks'
+// modeled time.
 package main
 
 import (
@@ -13,10 +19,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"optipart"
 	"optipart/internal/comm"
+	"optipart/internal/fault"
 	"optipart/internal/stats"
 )
 
@@ -32,6 +40,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		alpha    = flag.Float64("alpha", optipart.DefaultAlpha, "memory accesses per unit work (application model)")
 		trace    = flag.Bool("trace", false, "print an ASCII timeline of the run (compute vs collective per rank)")
+		kill     = flag.String("kill", "", "kill a rank at its k-th collective, as rank@k (uses the checked runtime)")
+		strag    = flag.String("straggler", "", "degrade a rank, as rank@tcmult[,twmult] (uses the checked runtime)")
 	)
 	flag.Parse()
 
@@ -81,7 +91,27 @@ func main() {
 	}
 	var st *optipart.Stats
 	var tr *optipart.Trace
-	if *trace {
+	if *kill != "" || *strag != "" {
+		plan, err := parsePlan(*kill, *strag)
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			tr = &optipart.Trace{}
+		}
+		st, err = comm.RunCheckedOpts(*p, m.CostModel(),
+			comm.CheckedOptions{Hooks: plan.Hooks(), Trace: tr},
+			func(c *optipart.Comm) error { body(c); return nil })
+		if err != nil {
+			fmt.Printf("machine %s | curve %v | mode %v | %d elements on %d ranks\n\n",
+				m.Name, kind, pmode, *n, *p)
+			fmt.Printf("world failed: %v\n", err)
+			if st != nil {
+				fmt.Printf("modeled time at teardown: %.6g s\n", st.Time())
+			}
+			return
+		}
+	} else if *trace {
 		st, tr = optipart.RunTraced(*p, m, body)
 	} else {
 		st = optipart.Run(*p, m, body)
@@ -106,6 +136,50 @@ func main() {
 		fmt.Println()
 		comm.RenderTimeline(os.Stdout, tr, *p, 100)
 	}
+}
+
+// parsePlan builds a fault plan from the -kill ("rank@k") and -straggler
+// ("rank@tcmult[,twmult]") flag syntaxes.
+func parsePlan(kill, strag string) (*fault.Plan, error) {
+	plan := &fault.Plan{}
+	if kill != "" {
+		rank, rest, err := splitRankAt(kill)
+		if err != nil {
+			return nil, fmt.Errorf("-kill %q: %w", kill, err)
+		}
+		at, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("-kill %q: bad collective index: %w", kill, err)
+		}
+		plan.Kills = append(plan.Kills, fault.Kill{Rank: rank, AtCollective: at})
+	}
+	if strag != "" {
+		rank, rest, err := splitRankAt(strag)
+		if err != nil {
+			return nil, fmt.Errorf("-straggler %q: %w", strag, err)
+		}
+		s := fault.Straggler{Rank: rank, TcMult: 1, TwMult: 1}
+		parts := strings.SplitN(rest, ",", 2)
+		if s.TcMult, err = strconv.ParseFloat(parts[0], 64); err != nil {
+			return nil, fmt.Errorf("-straggler %q: bad tc multiplier: %w", strag, err)
+		}
+		if len(parts) == 2 {
+			if s.TwMult, err = strconv.ParseFloat(parts[1], 64); err != nil {
+				return nil, fmt.Errorf("-straggler %q: bad tw multiplier: %w", strag, err)
+			}
+		}
+		plan.Stragglers = append(plan.Stragglers, s)
+	}
+	return plan, nil
+}
+
+func splitRankAt(s string) (rank int, rest string, err error) {
+	i := strings.IndexByte(s, '@')
+	if i < 0 {
+		return 0, "", fmt.Errorf("want rank@value")
+	}
+	rank, err = strconv.Atoi(s[:i])
+	return rank, s[i+1:], err
 }
 
 func machineByName(name string) (optipart.Machine, error) {

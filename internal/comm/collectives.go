@@ -11,14 +11,14 @@ package comm
 // every rank. All ranks must pass slices of the same length.
 func Allreduce[T any](c *Comm, vals []T, elemBytes int, op func(a, b T) T) []T {
 	m := float64(len(vals) * elemBytes)
-	out := c.sync("allreduce", vals, func() float64 {
+	out := c.sync("allreduce", elemBytes, vals, func() float64 {
 		w := c.w
 		res := make([]T, len(vals))
 		copy(res, w.slots[0].([]T))
 		for r := 1; r < w.p; r++ {
 			rv := w.slots[r].([]T)
 			if len(rv) != len(res) {
-				panic("comm: Allreduce length mismatch across ranks")
+				panic(&UsageError{Op: "allreduce", Msg: "length mismatch across ranks"})
 			}
 			for i := range res {
 				res[i] = op(res[i], rv[i])
@@ -48,7 +48,7 @@ func AllreduceScalar[T any](c *Comm, val T, elemBytes int, op func(a, b T) T) T 
 // ranks 0..r-1 (and zero on rank 0).
 func ExclusiveScan[T any](c *Comm, val T, zero T, elemBytes int, op func(a, b T) T) T {
 	m := float64(elemBytes)
-	out := c.sync("scan", val, func() float64 {
+	out := c.sync("scan", elemBytes, val, func() float64 {
 		w := c.w
 		pref := make([]T, w.p)
 		acc := zero
@@ -72,7 +72,7 @@ func ExclusiveScan[T any](c *Comm, val T, zero T, elemBytes int, op func(a, b T)
 // Allgather concatenates every rank's slice in rank order and returns a copy
 // on every rank. Slices may have different lengths.
 func Allgather[T any](c *Comm, vals []T, elemBytes int) []T {
-	out := c.sync("allgather", vals, func() float64 {
+	out := c.sync("allgather", elemBytes, vals, func() float64 {
 		w := c.w
 		var total int
 		for r := 0; r < w.p; r++ {
@@ -101,7 +101,7 @@ func Allgather[T any](c *Comm, vals []T, elemBytes int) []T {
 
 // Bcast distributes root's slice to every rank. Non-root ranks pass nil.
 func Bcast[T any](c *Comm, root int, vals []T, elemBytes int) []T {
-	out := c.sync("bcast", vals, func() float64 {
+	out := c.sync("bcast", elemBytes, vals, func() float64 {
 		w := c.w
 		res := w.slots[root].([]T)
 		w.scratch = res
@@ -143,13 +143,13 @@ type AlltoallvOptions struct {
 func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions) [][]T {
 	w := c.w
 	if len(send) != w.p {
-		panic("comm: Alltoallv send must have one slice per rank")
+		panic(&UsageError{Op: "alltoallv", Msg: "send must have one slice per rank"})
 	}
 	width := opts.StageWidth
 	if width <= 0 {
 		width = 1
 	}
-	out := c.sync("alltoallv", send, func() float64 {
+	out := c.sync("alltoallv", elemBytes, send, func() float64 {
 		all := make([][][]T, w.p)
 		for r := 0; r < w.p; r++ {
 			all[r] = w.slots[r].([][]T)

@@ -33,6 +33,44 @@ type CostModel struct {
 	Tw float64 // network slowness: seconds per byte on the wire
 }
 
+// Hooks intercept the runtime at well-defined points. They exist for the
+// fault-injection layer (internal/fault): BeforeCollective may panic to
+// simulate a rank dying at its k-th collective, and the scale hooks model
+// degraded hardware (stragglers) by stretching virtual time. Hooks must be
+// deterministic functions of their arguments; they never change what data
+// moves, only when the model says it arrives.
+type Hooks struct {
+	// BeforeCollective runs on the calling rank at entry to each
+	// collective, before any synchronization. seq is the 0-based index of
+	// this rank's collective call. A panic here kills the rank.
+	BeforeCollective func(rank int, op string, seq int)
+	// ElapseScale returns a multiplier for local time charges (Compute,
+	// Elapse) on the given rank. A degraded memory system is tc·mult.
+	ElapseScale func(rank int) float64
+	// CollectiveScale returns a multiplier for the BSP cost of a
+	// collective step. Under bulk-synchronous semantics one slow NIC slows
+	// the whole step, so the fault layer returns the worst multiplier
+	// among degraded ranks.
+	CollectiveScale func(op string) float64
+}
+
+// sig is the signature of a collective call, verified across ranks by the
+// checked runtime.
+type sig struct {
+	op        string
+	elemBytes int
+}
+
+// rankStatus is the watchdog-visible position of one rank, guarded by
+// World.statusMu (the barrier-ordered sigs/seqs arrays are not safe to
+// read from outside the world's goroutines).
+type rankStatus struct {
+	op    string
+	phase string
+	seq   int // collectives entered so far
+	done  bool
+}
+
 // World holds the shared state of one SPMD run.
 type World struct {
 	p       int
@@ -49,6 +87,20 @@ type World struct {
 	msgsSent  []int64
 
 	trace *Trace // nil unless the run is traced
+
+	// Checked-mode state (RunChecked). A legacy Run leaves checked false
+	// and pays nothing for any of it.
+	checked bool
+	hooks   Hooks
+	sigs    []sig // per-rank signature of the collective being entered
+	seqs    []int // per-rank count of collectives entered
+
+	statusMu sync.Mutex
+	status   []rankStatus // watchdog-visible mirror of sigs/seqs/phases
+
+	failMu  sync.Mutex
+	failure error         // first failure wins
+	failCh  chan struct{} // closed on first failure
 }
 
 // Comm is one rank's handle to the world. It is only valid inside the
@@ -68,8 +120,22 @@ func Run(p int, model CostModel, f func(c *Comm)) *Stats {
 
 func runWorld(p int, model CostModel, trace *Trace, f func(c *Comm)) *Stats {
 	if p < 1 {
-		panic(fmt.Sprintf("comm: Run with p=%d", p))
+		panic(&UsageError{Op: "run", Msg: fmt.Sprintf("Run with p=%d", p)})
 	}
+	w := newWorld(p, model, trace)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			f(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return newStats(w)
+}
+
+func newWorld(p int, model CostModel, trace *Trace) *World {
 	w := &World{
 		trace:     trace,
 		p:         p,
@@ -86,16 +152,7 @@ func runWorld(p int, model CostModel, trace *Trace, f func(c *Comm)) *Stats {
 		w.phaseTime[i] = make(map[string]float64)
 		w.phases[i] = "main"
 	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for r := 0; r < p; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			f(&Comm{w: w, rank: rank})
-		}(r)
-	}
-	wg.Wait()
-	return newStats(w)
+	return w
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -110,11 +167,23 @@ func (c *Comm) Model() CostModel { return c.w.model }
 // SetPhase labels subsequent virtual-time charges on this rank. Phases let
 // experiments report the paper's breakdowns (splitter / local sort /
 // all2all).
-func (c *Comm) SetPhase(name string) { c.w.phases[c.rank] = name }
+func (c *Comm) SetPhase(name string) {
+	c.w.phases[c.rank] = name
+	if c.w.checked {
+		c.w.statusMu.Lock()
+		c.w.status[c.rank].phase = name
+		c.w.statusMu.Unlock()
+	}
+}
 
 // Elapse charges dt seconds of local time to this rank's clock under its
 // current phase.
 func (c *Comm) Elapse(dt float64) {
+	if c.w.checked {
+		if s := c.w.hooks.ElapseScale; s != nil {
+			dt *= s(c.rank)
+		}
+	}
 	start := c.w.clocks[c.rank]
 	c.w.clocks[c.rank] += dt
 	c.w.phaseTime[c.rank][c.w.phases[c.rank]] += dt
@@ -136,6 +205,17 @@ func (c *Comm) Compute(bytes int64) {
 // Clock returns this rank's current virtual time.
 func (c *Comm) Clock() float64 { return c.w.clocks[c.rank] }
 
+// CollectiveIndex returns the number of collectives this rank has entered
+// so far — the per-rank step counter that fault plans key on (a Kill at
+// AtCollective k fires when this counter is k). It is only tracked under
+// the checked runtime; legacy Run returns -1.
+func (c *Comm) CollectiveIndex() int {
+	if !c.w.checked {
+		return -1
+	}
+	return c.w.seqs[c.rank]
+}
+
 // PhaseClock returns this rank's accumulated virtual time in the named
 // phase so far.
 func (c *Comm) PhaseClock(name string) float64 { return c.w.phaseTime[c.rank][name] }
@@ -156,12 +236,31 @@ func log2p(p int) float64 {
 // it may safely read data owned by other ranks; anything it returns must be
 // a copy, because deposited buffers belong to their owners again as soon as
 // sync returns.
-func (c *Comm) sync(op string, deposit any, compute func() float64, consume func(scratch any) any) any {
+func (c *Comm) sync(op string, elemBytes int, deposit any, compute func() float64, consume func(scratch any) any) any {
 	w := c.w
+	if w.checked {
+		seq := w.seqs[c.rank]
+		w.seqs[c.rank]++
+		w.sigs[c.rank] = sig{op: op, elemBytes: elemBytes}
+		w.statusMu.Lock()
+		w.status[c.rank] = rankStatus{op: op, phase: w.phases[c.rank], seq: seq + 1}
+		w.statusMu.Unlock()
+		if h := w.hooks.BeforeCollective; h != nil {
+			h(c.rank, op, seq) // a panic here kills the rank
+		}
+	}
 	w.slots[c.rank] = deposit
-	w.barrier.wait()
+	w.barrier.wait(c.rank)
 	if c.rank == 0 {
+		if w.checked {
+			w.verifySigs() // does not return on mismatch
+		}
 		cost := compute()
+		if w.checked {
+			if s := w.hooks.CollectiveScale; s != nil {
+				cost *= s(op)
+			}
+		}
 		// BSP semantics: the step starts when the last rank arrives and
 		// costs the same on every rank.
 		start := 0.0
@@ -182,19 +281,50 @@ func (c *Comm) sync(op string, deposit any, compute func() float64, consume func
 			w.phaseTime[i][w.phases[i]] += dt
 		}
 	}
-	w.barrier.wait()
+	w.barrier.wait(c.rank)
 	var out any
 	if consume != nil {
 		out = consume(w.scratch)
 	}
-	w.barrier.wait() // slots, scratch, and deposits may be reused after this
+	w.barrier.wait(c.rank) // slots, scratch, and deposits may be reused after this
 	return out
+}
+
+// verifySigs runs on rank 0 between the deposit and compute barriers of a
+// checked sync step, when every rank's signature is posted and stable. A
+// mismatch means ranks called different collectives at the same step — a
+// bug that deadlocks real MPI programs; here it fails the world with the
+// full call map instead.
+func (w *World) verifySigs() {
+	for r := 1; r < w.p; r++ {
+		if w.sigs[r] != w.sigs[0] {
+			calls := make([]SigCall, w.p)
+			for i := 0; i < w.p; i++ {
+				calls[i] = SigCall{Rank: i, Op: w.sigs[i].op, ElemBytes: w.sigs[i].elemBytes}
+			}
+			w.fail(&MismatchError{Step: w.seqs[0] - 1, Calls: calls})
+			panic(worldAbort{})
+		}
+	}
+}
+
+// fail records the world's first failure and poisons the barrier so every
+// rank unblocks. Later failures (secondary victims of the poisoning) are
+// dropped: the first cause is the report.
+func (w *World) fail(err error) {
+	w.failMu.Lock()
+	if w.failure == nil {
+		w.failure = err
+		close(w.failCh)
+	}
+	w.failMu.Unlock()
+	w.barrier.poison()
 }
 
 // Barrier synchronizes all ranks, charging the latency of a log2(p)-deep
 // synchronization tree.
 func (c *Comm) Barrier() {
-	c.sync("barrier", nil, func() float64 {
+	c.sync("barrier", 0, nil, func() float64 {
 		return c.w.model.Ts * log2p(c.w.p)
 	}, nil)
 }

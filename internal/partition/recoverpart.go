@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"optipart/internal/comm"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// SplittersFromDistribution derives the splitters implied by the current
+// data placement: each rank's elements (sorted in curve order, globally
+// non-overlapping across ranks, as a SampleSort or Partition leaves them)
+// stay where they are, and rank r's separator is the first key held by
+// rank r; empty ranks collapse to an empty range. This is how a partition
+// produced by a plain distributed sort — which never materializes
+// splitters — gets a Splitters value that EvaluateQuality, ghost
+// construction, and the performance model can consume. Collective.
+func SplittersFromDistribution(c *comm.Comm, curve *sfc.Curve, local []sfc.Key) *Splitters {
+	type firstKey struct {
+		N   int64
+		Key sfc.Key
+	}
+	me := firstKey{N: int64(len(local))}
+	if len(local) > 0 {
+		me.Key = local[0]
+	}
+	all := comm.Allgather(c, []firstKey{me}, psort.KeyBytes+8)
+	p := c.Size()
+	seps := make([]sfc.Key, p-1)
+	// Walk backwards so an empty rank inherits the separator above it,
+	// giving it an empty [sep, sep) range instead of swallowing keys.
+	cur := InfKey
+	for r := p - 1; r >= 1; r-- {
+		if all[r].N > 0 {
+			cur = all[r].Key
+		}
+		seps[r-1] = cur
+	}
+	return &Splitters{Curve: curve, Seps: seps}
+}

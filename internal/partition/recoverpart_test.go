@@ -1,0 +1,48 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"optipart/internal/comm"
+	"optipart/internal/octree"
+	"optipart/internal/sfc"
+)
+
+// TestSplittersFromDistribution: for any contiguous-in-curve-order
+// placement of sorted keys — including empty ranks — the derived splitters
+// must assign every key to the rank currently holding it.
+func TestSplittersFromDistribution(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	rng := rand.New(rand.NewSource(11))
+	keys := octree.RandomKeys(rng, 4000, 3, octree.Normal, 2, 12)
+	sort.Slice(keys, func(i, j int) bool { return curve.Less(keys[i], keys[j]) })
+
+	const p = 7
+	// Deliberately skewed cuts, with rank 3 left empty.
+	cuts := []int{0, 900, 950, 2100, 2100, 2500, 3999, len(keys)}
+	comm.Run(p, comm.CostModel{}, func(c *comm.Comm) {
+		local := keys[cuts[c.Rank()]:cuts[c.Rank()+1]]
+		sp := SplittersFromDistribution(c, curve, local)
+		if got := sp.P(); got != p {
+			t.Errorf("P() = %d, want %d", got, p)
+		}
+		for _, k := range local {
+			if owner := sp.Owner(k); owner != c.Rank() {
+				t.Errorf("key %v owned by %d, want holder %d", k, owner, c.Rank())
+			}
+		}
+		// The induced quality must count exactly the current placement.
+		q := EvaluateQuality(c, curve, local, sp)
+		if q.N != int64(len(keys)) {
+			t.Errorf("quality N = %d, want %d", q.N, len(keys))
+		}
+		if q.Wmax != 3999-2500 {
+			t.Errorf("Wmax = %d, want %d", q.Wmax, 3999-2500)
+		}
+		if q.Wmin != 0 {
+			t.Errorf("Wmin = %d, want 0 (rank 3 is empty)", q.Wmin)
+		}
+	})
+}

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 
 	"optipart/internal/comm"
+	"optipart/internal/fault"
 	"optipart/internal/fem"
 	"optipart/internal/machine"
 	"optipart/internal/mesh"
@@ -117,6 +118,35 @@ type (
 // run's modeled statistics. It is the entry point to everything collective.
 func Run(p int, m Machine, f func(c *Comm)) *Stats {
 	return comm.Run(p, m.CostModel(), f)
+}
+
+// Fault tolerance. RunChecked is the hardened runtime: a rank that panics
+// or returns an error terminates the world with a structured *RankFailure
+// instead of stranding the survivors in a barrier, mismatched collectives
+// report who called what instead of deadlocking, and a watchdog converts
+// any remaining stall into an error naming each stuck rank's last op and
+// phase. FaultPlan (internal/fault) injects deterministic rank deaths and
+// stragglers for resilience experiments; see `experiments -run faults` for
+// the recovery-by-repartition campaign built on top.
+type (
+	RankFailure = comm.RankFailure
+	FaultPlan   = fault.Plan
+	FaultKill   = fault.Kill
+	Straggler   = fault.Straggler
+)
+
+// RunChecked executes f on p ranks like Run, but returns instead of
+// hanging or crashing when a rank fails.
+func RunChecked(p int, m Machine, f func(c *Comm) error) (*Stats, error) {
+	return comm.RunChecked(p, m.CostModel(), f)
+}
+
+// RunWithFaults is RunChecked with a deterministic fault-injection plan:
+// scheduled rank kills surface as *RankFailure errors, and straggler
+// multipliers stretch the affected ranks' virtual time without changing
+// any payload.
+func RunWithFaults(p int, m Machine, plan *FaultPlan, f func(c *Comm) error) (*Stats, error) {
+	return fault.Run(p, m.CostModel(), plan, f)
 }
 
 // Trace is a per-rank virtual timeline of a traced run.

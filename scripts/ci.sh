@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the repo's gate, runnable anywhere the Go toolchain exists:
+#
+#   ./scripts/ci.sh          # vet + gofmt + full test suite under -race
+#   ./scripts/ci.sh -short   # same, with -short tests
+#
+# The comm runtime is a shared-memory stand-in for MPI: every collective is
+# goroutines racing through a barrier, which is exactly the code the race
+# detector should be standing guard over — so the suite always runs with
+# -race here.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l ."
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race $* ./..."
+go test -race "$@" ./...
+
+echo "CI OK"
