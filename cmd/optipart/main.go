@@ -7,11 +7,16 @@
 //	optipart -p 64 -n 200000 -machine Clemson-32 -curve hilbert -mode optipart
 //	optipart -p 64 -n 200000 -mode flexible -tol 0.3
 //	optipart -p 64 -n 200000 -kill 3@40 -straggler 5@2.5,1.5
+//	optipart -p 64 -n 200000 -loss 0.1 -corrupt 0.02 -retry 8
 //
 // -kill and -straggler run the partition under the checked fault-injected
 // runtime: a killed rank tears the world down with a structured error
 // instead of hanging it, and stragglers stretch the affected ranks'
-// modeled time.
+// modeled time. -loss and -corrupt route the collectives through the
+// reliable transport over an unreliable wire: frames drop or corrupt at
+// the given per-frame rates, retries stretch the modeled time and are
+// reported, and a link that exhausts the -retry cap fails the run with a
+// structured link error.
 package main
 
 import (
@@ -42,6 +47,9 @@ func main() {
 		trace    = flag.Bool("trace", false, "print an ASCII timeline of the run (compute vs collective per rank)")
 		kill     = flag.String("kill", "", "kill a rank at its k-th collective, as rank@k (uses the checked runtime)")
 		strag    = flag.String("straggler", "", "degrade a rank, as rank@tcmult[,twmult] (uses the checked runtime)")
+		loss     = flag.Float64("loss", 0, "per-frame drop rate in [0,1] on every link (uses the reliable transport)")
+		corrupt  = flag.Float64("corrupt", 0, "per-frame corruption rate in [0,1] on every link (uses the reliable transport)")
+		retry    = flag.Int("retry", 0, "retransmit cap per message before the link is declared dead (0 = default)")
 	)
 	flag.Parse()
 
@@ -77,6 +85,11 @@ func main() {
 		fatal(fmt.Errorf("unknown distribution %q", *dist))
 	}
 
+	plan, err := buildPlan(*p, *kill, *strag, *loss, *corrupt, *retry, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
 	perRank := *n / *p
 	var res *optipart.Result
 	body := func(c *optipart.Comm) {
@@ -91,16 +104,16 @@ func main() {
 	}
 	var st *optipart.Stats
 	var tr *optipart.Trace
-	if *kill != "" || *strag != "" {
-		plan, err := parsePlan(*kill, *strag)
-		if err != nil {
-			fatal(err)
-		}
+	if !plan.Empty() {
 		if *trace {
 			tr = &optipart.Trace{}
 		}
-		st, err = comm.RunCheckedOpts(*p, m.CostModel(),
-			comm.CheckedOptions{Hooks: plan.Hooks(), Trace: tr},
+		opts := comm.CheckedOptions{Hooks: plan.Hooks(), Trace: tr}
+		if !plan.Net.Empty() {
+			opts.Net = plan.Net.Injector()
+			opts.Transport = plan.Net.Transport
+		}
+		st, err = comm.RunCheckedOpts(*p, m.CostModel(), opts,
 			func(c *optipart.Comm) error { body(c); return nil })
 		if err != nil {
 			fmt.Printf("machine %s | curve %v | mode %v | %d elements on %d ranks\n\n",
@@ -109,7 +122,7 @@ func main() {
 			if st != nil {
 				fmt.Printf("modeled time at teardown: %.6g s\n", st.Time())
 			}
-			return
+			os.Exit(1)
 		}
 	} else if *trace {
 		st, tr = optipart.RunTraced(*p, m, body)
@@ -130,6 +143,11 @@ func main() {
 	table.Add("Cmax (boundary octants)", res.Quality.Cmax)
 	table.Add("total boundary octants", res.Quality.Ctot)
 	table.Add("predicted app step (s), Eq. (3)", res.Predicted)
+	if st.Retransmits != nil {
+		table.Add("retransmitted frames", st.TotalRetransmits())
+		table.Add("retransmitted bytes", st.TotalRetryBytes())
+		table.Add("duplicate frames", st.TotalDuplicates())
+	}
 	table.Fprint(os.Stdout)
 
 	if tr != nil {
@@ -138,18 +156,30 @@ func main() {
 	}
 }
 
-// parsePlan builds a fault plan from the -kill ("rank@k") and -straggler
-// ("rank@tcmult[,twmult]") flag syntaxes.
-func parsePlan(kill, strag string) (*fault.Plan, error) {
+// buildPlan builds and validates the fault plan from the -kill ("rank@k"),
+// -straggler ("rank@tcmult[,twmult]"), -loss, -corrupt, and -retry flags.
+// Every argument is range-checked against the world size here so a typo
+// fails with a usable message before any goroutines start, instead of
+// panicking or silently never matching.
+func buildPlan(p int, kill, strag string, loss, corrupt float64, retry int, seed int64) (*fault.Plan, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("-p %d: need at least one rank", p)
+	}
 	plan := &fault.Plan{}
 	if kill != "" {
 		rank, rest, err := splitRankAt(kill)
 		if err != nil {
 			return nil, fmt.Errorf("-kill %q: %w", kill, err)
 		}
+		if rank < 0 || rank >= p {
+			return nil, fmt.Errorf("-kill %q: rank %d out of range [0,%d)", kill, rank, p)
+		}
 		at, err := strconv.Atoi(rest)
 		if err != nil {
 			return nil, fmt.Errorf("-kill %q: bad collective index: %w", kill, err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("-kill %q: collective index must be >= 0", kill)
 		}
 		plan.Kills = append(plan.Kills, fault.Kill{Rank: rank, AtCollective: at})
 	}
@@ -157,6 +187,9 @@ func parsePlan(kill, strag string) (*fault.Plan, error) {
 		rank, rest, err := splitRankAt(strag)
 		if err != nil {
 			return nil, fmt.Errorf("-straggler %q: %w", strag, err)
+		}
+		if rank < 0 || rank >= p {
+			return nil, fmt.Errorf("-straggler %q: rank %d out of range [0,%d)", strag, rank, p)
 		}
 		s := fault.Straggler{Rank: rank, TcMult: 1, TwMult: 1}
 		parts := strings.SplitN(rest, ",", 2)
@@ -168,7 +201,29 @@ func parsePlan(kill, strag string) (*fault.Plan, error) {
 				return nil, fmt.Errorf("-straggler %q: bad tw multiplier: %w", strag, err)
 			}
 		}
+		if s.TcMult <= 0 || s.TwMult <= 0 {
+			return nil, fmt.Errorf("-straggler %q: multipliers must be > 0", strag)
+		}
 		plan.Stragglers = append(plan.Stragglers, s)
+	}
+	if loss < 0 || loss > 1 {
+		return nil, fmt.Errorf("-loss %g: drop rate must be in [0,1]", loss)
+	}
+	if corrupt < 0 || corrupt > 1 {
+		return nil, fmt.Errorf("-corrupt %g: corruption rate must be in [0,1]", corrupt)
+	}
+	if retry < 0 {
+		return nil, fmt.Errorf("-retry %d: retransmit cap must be >= 0", retry)
+	}
+	if loss > 0 || corrupt > 0 {
+		np := fault.UniformLoss(seed, loss, corrupt)
+		np.Transport.MaxRetries = retry
+		if err := np.Validate(p); err != nil {
+			return nil, err
+		}
+		plan.Net = np
+	} else if retry != 0 {
+		return nil, fmt.Errorf("-retry %d: needs -loss or -corrupt to matter", retry)
 	}
 	return plan, nil
 }

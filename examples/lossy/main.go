@@ -1,0 +1,113 @@
+// Lossy: partition over an unreliable network, pay for the retries, and
+// survive a dead link.
+//
+// The same model-driven partition runs three times. First on a perfect
+// wire. Then on a wire that drops 10% of frames and corrupts another 2% —
+// the checksummed transport retransmits until everything arrives, so the
+// partition is bit-identical, but the retries show up in the modeled time
+// and the traffic report. Finally with one link dropping everything: the
+// transport gives up after its retransmit cap, the world tears down with a
+// structured link failure naming the dead link, and the survivors
+// repartition without the unreachable rank — the same recovery loop a rank
+// death triggers.
+//
+//	go run ./examples/lossy
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"optipart"
+)
+
+func main() {
+	const p = 8
+	curve := optipart.NewCurve(optipart.Hilbert, 3)
+	m := optipart.Clemson32()
+
+	locals := make([][]optipart.Key, p)
+	body := func(c *optipart.Comm) error {
+		rng := rand.New(rand.NewSource(int64(11 + c.Rank())))
+		keys := optipart.RandomKeys(rng, 8000, 3, optipart.Normal, 2, 14)
+		res := optipart.Partition(c, keys, optipart.Options{
+			Curve: curve, Mode: optipart.ModelDriven, Machine: m,
+		})
+		locals[c.Rank()] = res.Local
+		return nil
+	}
+
+	// A perfect wire, for the baseline clock.
+	clean, err := optipart.RunChecked(p, m, body)
+	if err != nil {
+		panic(err)
+	}
+	cleanLocals := locals
+	locals = make([][]optipart.Key, p)
+	fmt.Printf("clean wire:  t=%.4gs, %d bytes moved\n", clean.Time(), clean.TotalBytes())
+
+	// The same run over a wire losing 10% of frames and corrupting 2%.
+	// Reliable delivery makes loss invisible to the application — only the
+	// clock and the traffic accounting can tell the difference.
+	plan := &optipart.FaultPlan{Net: optipart.UniformLoss(42, 0.10, 0.02)}
+	lossy, err := optipart.RunWithFaults(p, m, plan, body)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lossy wire:  t=%.4gs (%.2fx), %d bytes moved\n",
+		lossy.Time(), lossy.Time()/clean.Time(), lossy.TotalBytes())
+	fmt.Printf("  %d frames retransmitted (%d bytes), %d duplicates discarded\n",
+		lossy.TotalRetransmits(), lossy.TotalRetryBytes(), lossy.TotalDuplicates())
+	for r := range locals {
+		if len(locals[r]) != len(cleanLocals[r]) {
+			panic("loss changed the partition")
+		}
+	}
+	fmt.Printf("  partition identical to the clean run on every rank\n\n")
+
+	// One link goes dark: everything into rank 5 vanishes. The transport
+	// retries, backs off, gives up, and names the dead link.
+	const dead = 5
+	dark := &optipart.FaultPlan{Net: &optipart.NetPlan{
+		Seed:      42,
+		Links:     []optipart.LinkFault{{Src: -1, Dst: dead, DropRate: 1}},
+		Transport: optipart.TransportOptions{MaxRetries: 4},
+	}}
+	_, err = optipart.RunWithFaults(p, m, dark, body)
+	fmt.Printf("dark link:   %v\n", err)
+	var lf *optipart.LinkFailure
+	if !errors.As(err, &lf) {
+		panic("expected a structured link failure")
+	}
+
+	// Recovery: the rank behind the dead link is unreachable, so the
+	// survivors absorb its elements and repartition among p-1 — the same
+	// loop a rank death triggers, with the link failure as the trigger.
+	survivors := make([][]optipart.Key, 0, p-1)
+	for r := 0; r < p; r++ {
+		switch r {
+		case lf.Dst:
+		case lf.Dst - 1:
+			survivors = append(survivors,
+				append(append([]optipart.Key{}, cleanLocals[r]...), cleanLocals[lf.Dst]...))
+		default:
+			survivors = append(survivors, cleanLocals[r])
+		}
+	}
+	var q optipart.Quality
+	rst, rerr := optipart.RunChecked(p-1, m, func(c *optipart.Comm) error {
+		res := optipart.Partition(c, survivors[c.Rank()], optipart.Options{
+			Curve: curve, Mode: optipart.ModelDriven, Machine: m,
+		})
+		if c.Rank() == 0 {
+			q = res.Quality
+		}
+		return nil
+	})
+	if rerr != nil {
+		panic(rerr)
+	}
+	fmt.Printf("recovered on %d survivors in %.4gs (modeled): %d octants, λ=%.3f, Cmax=%d\n",
+		p-1, rst.Time(), q.N, q.LoadImbalance(), q.Cmax)
+}

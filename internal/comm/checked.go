@@ -38,6 +38,16 @@ type CheckedOptions struct {
 	Hooks Hooks
 	// Trace, when non-nil, records the run's timeline as in RunTraced.
 	Trace *Trace
+	// Net, when non-nil, routes every collective's logical messages through
+	// the unreliable-network transport (transport.go): messages carry
+	// checksums and sequence numbers, losses are retried with timeout and
+	// backoff, and a dead link escalates to a *LinkFailure. With a nil
+	// Net the delivery path is skipped entirely; with a Net that injects
+	// nothing the run is bit-identical to a legacy Run.
+	Net NetInjector
+	// Transport tunes reliable delivery when Net is set; the zero value
+	// means defaults.
+	Transport TransportOptions
 }
 
 // RunChecked executes f on p ranks like Run, but returns instead of
@@ -68,6 +78,14 @@ func RunCheckedOpts(p int, model CostModel, opts CheckedOptions, f func(c *Comm)
 	}
 	w.barrier.failf = w.fail
 	w.barrier.abandoned = w.abandonedError
+	if opts.Net != nil {
+		w.net = opts.Net
+		w.netOpts = opts.Transport.withDefaults()
+		w.netSeq = make([]uint64, p*p)
+		w.retrans = make([]int64, p)
+		w.retryBytes = make([]int64, p)
+		w.dups = make([]int64, p)
+	}
 
 	stall := opts.StallTimeout
 	if stall == 0 {

@@ -30,6 +30,9 @@ func Allreduce[T any](c *Comm, vals []T, elemBytes int, op func(a, b T) T) []T {
 			w.bytesSent[i] += int64(m) * int64(steps)
 			w.msgsSent[i] += int64(steps)
 		}
+		if w.net != nil {
+			w.pendingMsgs = netTree(w.pendingMsgs[:0], w.p, int64(m))
+		}
 		return (w.model.Ts + w.model.Tw*m) * steps
 	}, func(scratch any) any {
 		res := make([]T, len(scratch.([]T)))
@@ -62,6 +65,9 @@ func ExclusiveScan[T any](c *Comm, val T, zero T, elemBytes int, op func(a, b T)
 			w.bytesSent[i] += int64(m) * int64(steps)
 			w.msgsSent[i] += int64(steps)
 		}
+		if w.net != nil {
+			w.pendingMsgs = netTree(w.pendingMsgs[:0], w.p, int64(m))
+		}
 		return (w.model.Ts + w.model.Tw*m) * steps
 	}, func(scratch any) any {
 		return scratch.([]T)[c.rank]
@@ -90,6 +96,13 @@ func Allgather[T any](c *Comm, vals []T, elemBytes int) []T {
 			w.bytesSent[i] += int64(total*elemBytes - own)
 			w.msgsSent[i] += int64(steps)
 		}
+		if w.net != nil {
+			contrib := make([]int64, w.p)
+			for r := 0; r < w.p; r++ {
+				contrib[r] = int64(len(w.slots[r].([]T)) * elemBytes)
+			}
+			w.pendingMsgs = netAllgather(w.pendingMsgs[:0], w.p, contrib)
+		}
 		return w.model.Ts*steps + w.model.Tw*m
 	}, func(scratch any) any {
 		res := make([]T, len(scratch.([]T)))
@@ -109,6 +122,9 @@ func Bcast[T any](c *Comm, root int, vals []T, elemBytes int) []T {
 		steps := log2p(w.p)
 		w.bytesSent[root] += int64(m) * int64(steps)
 		w.msgsSent[root] += int64(steps)
+		if w.net != nil {
+			w.pendingMsgs = netBcast(w.pendingMsgs[:0], w.p, root, int64(m))
+		}
 		return (w.model.Ts + w.model.Tw*m) * steps
 	}, func(scratch any) any {
 		res := make([]T, len(scratch.([]T)))
@@ -155,6 +171,9 @@ func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions)
 			all[r] = w.slots[r].([][]T)
 		}
 		w.scratch = all
+		if w.net != nil {
+			w.pendingMsgs = w.pendingMsgs[:0]
+		}
 		var cost float64
 		if opts.Sparse {
 			var maxMsgs, maxBytes int64
@@ -167,6 +186,11 @@ func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions)
 					if n := int64(len(all[r][dst]) * elemBytes); n > 0 {
 						msgs++
 						bytes += n
+						if w.net != nil {
+							// One concurrent non-blocking round: retry
+							// delays combine as the max across messages.
+							w.pendingMsgs = append(w.pendingMsgs, netMsg{Src: r, Dst: dst, Bytes: n})
+						}
 					}
 				}
 				w.msgsSent[r] += msgs
@@ -182,6 +206,7 @@ func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions)
 		}
 		// Stages over destination offsets 1..p-1 (offset 0 is the local
 		// copy, which costs no network time).
+		stage := 0
 		for lo := 1; lo < w.p; lo += width {
 			hi := lo + width
 			if hi > w.p {
@@ -197,6 +222,9 @@ func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions)
 					if n > 0 {
 						bytes += n
 						w.msgsSent[r]++
+						if w.net != nil {
+							w.pendingMsgs = append(w.pendingMsgs, netMsg{Src: r, Dst: dst, Bytes: n, Round: stage})
+						}
 					}
 				}
 				w.bytesSent[r] += bytes
@@ -210,6 +238,7 @@ func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions)
 			if active {
 				cost += w.model.Ts + w.model.Tw*float64(stageMax)
 			}
+			stage++
 		}
 		return cost
 	}, func(scratch any) any {

@@ -95,6 +95,18 @@ type World struct {
 	sigs    []sig // per-rank signature of the collective being entered
 	seqs    []int // per-rank count of collectives entered
 
+	// Unreliable-transport state (transport.go), active when net is
+	// non-nil. All of it is touched only on rank 0 between the deposit and
+	// consume barriers, the same window as the byte accounting above.
+	net         NetInjector
+	netOpts     TransportOptions
+	netSeq      []uint64 // per directed (src,dst) link message sequence counter
+	retrans     []int64  // per-rank retransmission count
+	retryBytes  []int64  // per-rank retransmitted bytes
+	dups        []int64  // per-rank duplicate deliveries discarded (receiver side)
+	pendingMsgs []netMsg // logical messages of the collective step in flight
+	pktScratch  []int    // reusable frame-index buffer for deliver
+
 	statusMu sync.Mutex
 	status   []rankStatus // watchdog-visible mirror of sigs/seqs/phases
 
@@ -261,6 +273,17 @@ func (c *Comm) sync(op string, elemBytes int, deposit any, compute func() float6
 				cost *= s(op)
 			}
 		}
+		// Replay the step's logical messages through the unreliable
+		// network: retries stretch the step, a dead link fails the world.
+		var retry float64
+		if w.net != nil {
+			var nerr error
+			retry, nerr = w.netStep(op)
+			if nerr != nil {
+				w.fail(nerr)
+				panic(worldAbort{})
+			}
+		}
 		// BSP semantics: the step starts when the last rank arrives and
 		// costs the same on every rank.
 		start := 0.0
@@ -269,15 +292,22 @@ func (c *Comm) sync(op string, elemBytes int, deposit any, compute func() float6
 				start = t
 			}
 		}
+		end := start + cost
 		for i := range w.clocks {
-			dt := start + cost - w.clocks[i]
+			dt := end + retry - w.clocks[i]
 			if w.trace != nil {
 				w.trace.add(Event{
 					Rank: i, Phase: w.phases[i], Op: op,
-					Start: w.clocks[i], End: start + cost,
+					Start: w.clocks[i], End: end,
 				})
+				if retry > 0 {
+					w.trace.add(Event{
+						Rank: i, Phase: w.phases[i], Op: "retransmit",
+						Start: end, End: end + retry,
+					})
+				}
 			}
-			w.clocks[i] = start + cost
+			w.clocks[i] = end + retry
 			w.phaseTime[i][w.phases[i]] += dt
 		}
 	}
@@ -325,6 +355,11 @@ func (w *World) fail(err error) {
 // synchronization tree.
 func (c *Comm) Barrier() {
 	c.sync("barrier", 0, nil, func() float64 {
-		return c.w.model.Ts * log2p(c.w.p)
+		w := c.w
+		if w.net != nil {
+			// Barrier messages are header-only, but headers drop too.
+			w.pendingMsgs = netTree(w.pendingMsgs[:0], w.p, 0)
+		}
+		return w.model.Ts * log2p(w.p)
 	}, nil)
 }

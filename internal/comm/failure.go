@@ -145,6 +145,28 @@ func (e *StallError) Error() string {
 		e.Stall, len(e.Stuck), strings.Join(parts, "; "))
 }
 
+// LinkFailure reports that the reliable transport gave up on one directed
+// link: Attempts transmissions of the same logical message (sequence Seq on
+// link Src→Dst, inside collective Op) were all dropped or corrupted, so the
+// link is declared dead and the world is torn down instead of retrying
+// forever. This is the escalation point from transient loss to machine
+// fault: a campaign that catches a *LinkFailure treats the unreachable rank
+// like a killed one — evict it and re-enter the recovery-by-repartition
+// path (see the faults experiment) — rather than hanging on a wire that
+// will never carry the message.
+type LinkFailure struct {
+	Src, Dst int
+	Op       string // the collective whose message exhausted its budget
+	Seq      uint64 // the message's sequence number on the Src→Dst link
+	Attempts int    // transmissions attempted, including the original
+	Cap      int    // the retransmit cap that was exhausted
+}
+
+func (e *LinkFailure) Error() string {
+	return fmt.Sprintf("comm: link %d→%d dead: %s message seq %d lost after %d attempts (retransmit cap %d)",
+		e.Src, e.Dst, e.Op, e.Seq, e.Attempts, e.Cap)
+}
+
 // UsageError is an API misuse detected inside the runtime: mismatched
 // Allreduce lengths, a malformed Alltoallv send matrix, Run with p < 1.
 // The legacy Run surfaces it as a panic (unchanged behavior); RunChecked

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"optipart/internal/comm"
+	"optipart/internal/fault"
+	"optipart/internal/fem"
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+	"optipart/internal/stats"
+)
+
+func init() {
+	register("losses",
+		"unreliable network: drop-rate sweep of the matvec campaign, OptiPart vs equal-weight SampleSort retransmission cost", lossesExperiment)
+}
+
+// lossesExperiment runs the matvec campaign over an unreliable network and
+// measures what reliable delivery costs each partitioning strategy. The
+// transport drops frames at a swept per-frame rate; every lost frame is
+// retransmitted after a timeout, so the application always computes the
+// same answer — loss shows up only as retransmitted traffic and stretched
+// modeled time.
+//
+// The point being demonstrated: frames are lost in proportion to bytes on
+// the wire, and bytes on the wire are the boundary bytes the partitioner
+// controls. OptiPart's model-driven partitions, which shrink Cmax per
+// Eq. (3), therefore retransmit less and degrade more slowly with the drop
+// rate than the equal-weight SampleSort baseline — the machine-aware
+// objective pays off twice on a lossy network, once per transmission and
+// once per retransmission.
+func lossesExperiment(cfg Config) error {
+	paperNote(cfg,
+		"not in the paper: extends §3.3's cost model with a lossy-network term (retransmissions ∝ boundary bytes)",
+		"matvec campaign on the Clemson-32 model under uniform per-frame loss; OptiPart vs equal-weight SampleSort")
+
+	m := machine.Clemson32()
+	p, seeds, depth, iters := 16, 1500, uint8(8), 30
+	rates := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	if cfg.Quick {
+		p, seeds, depth, iters = 8, 200, 7, 8
+		rates = []float64{0, 0.1}
+	}
+	spec := CampaignSpec{
+		Machine: m, P: p, Kind: sfc.Hilbert,
+		MeshSeeds: seeds, MeshDepth: depth, Dist: octree.Normal,
+		Mode: partition.ModelDriven, Iters: iters, Seed: cfg.Seed,
+	}
+	tree, curve := buildCampaignMesh(spec)
+
+	type outcome struct {
+		st    *comm.Stats
+		moved int64 // campaign-wide ghost elements exchanged (result digest)
+		cmax  int64
+	}
+	// makeBody builds the campaign body for one strategy; every run of the
+	// same body is deterministic, so differences across rates are the
+	// network's doing alone.
+	makeBody := func(opti bool, out *outcome) func(c *comm.Comm) error {
+		return func(c *comm.Comm) error {
+			var local []sfc.Key
+			for i, k := range tree.Leaves {
+				if i%p == c.Rank() {
+					local = append(local, k)
+				}
+			}
+			var mine []sfc.Key
+			var sp *partition.Splitters
+			var cmax int64
+			if opti {
+				res := partition.Partition(c, local, partition.Options{
+					Curve: curve, Mode: partition.ModelDriven, Machine: m,
+				})
+				mine, sp, cmax = res.Local, res.Splitters, res.Quality.Cmax
+			} else {
+				mine = psort.SampleSort(c, local, psort.SampleSortOptions{Curve: curve})
+				sp = partition.SplittersFromDistribution(c, curve, mine)
+				cmax = partition.EvaluateQuality(c, curve, mine, sp).Cmax
+			}
+			prob := fem.Setup(c, mine, sp, 1)
+			res := fem.RunCampaign(c, prob, iters, spec.Seed+1)
+			if c.Rank() == 0 {
+				out.moved, out.cmax = res.ElementsMoved, cmax
+			}
+			return nil
+		}
+	}
+
+	// The retransmit cap is the run's loss tolerance: a frame that fails
+	// cap+1 attempts declares its link dead. The sweep provisions the cap
+	// for its worst drop rate — the campaign offers ~10^6 frames, so the
+	// per-frame give-up probability drop^(cap+1) must be well under 1e-6.
+	// An undersized cap is demonstrated (and asserted) separately below.
+	const sweepRetries = 16
+	runPoint := func(opti bool, drop float64, retries int) (outcome, error) {
+		var out outcome
+		// Drops dominate the story; corruption rides along at a quarter of
+		// the drop rate to keep the checksum path honest.
+		plan := &fault.Plan{Net: fault.UniformLoss(cfg.Seed+7, drop, drop/4)}
+		plan.Net.Transport.MaxRetries = retries
+		st, err := fault.Run(p, m.CostModel(), plan, makeBody(opti, &out))
+		if err != nil {
+			return out, fmt.Errorf("losses: campaign at drop=%g failed: %w", drop, err)
+		}
+		out.st = st
+		return out, nil
+	}
+
+	type strategy struct {
+		name string
+		opti bool
+		runs map[float64]outcome
+	}
+	strategies := []*strategy{
+		{name: "optipart-modeldriven", opti: true, runs: map[float64]outcome{}},
+		{name: "samplesort-equalweight", opti: false, runs: map[float64]outcome{}},
+	}
+
+	table := stats.NewTable(
+		fmt.Sprintf("matvec campaign under loss (%d ranks, %d octants, %d iters)", p, tree.Len(), iters),
+		"drop", "strategy", "Cmax", "retransmits", "retry-bytes", "dup", "time(s)", "slowdown")
+	for _, s := range strategies {
+		for _, rate := range rates {
+			out, err := runPoint(s.opti, rate, sweepRetries)
+			if err != nil {
+				return err
+			}
+			s.runs[rate] = out
+			base := s.runs[rates[0]].st.Time()
+			table.Add(fmt.Sprintf("%g%%", rate*100), s.name, out.cmax,
+				out.st.TotalRetransmits(), out.st.TotalRetryBytes(),
+				out.st.TotalDuplicates(), out.st.Time(),
+				fmt.Sprintf("%.3fx", out.st.Time()/base))
+		}
+	}
+	table.Fprint(cfg.Out)
+
+	// Assertions, in the order the transport's guarantees layer up.
+	for _, s := range strategies {
+		clean := s.runs[0]
+		if clean.st.TotalRetransmits() != 0 || clean.st.TotalRetryBytes() != 0 {
+			return fmt.Errorf("losses: %s retransmitted on a lossless network", s.name)
+		}
+		for _, rate := range rates[1:] {
+			lossy := s.runs[rate]
+			// Reliable delivery means loss never changes the computation.
+			if lossy.moved != clean.moved || lossy.cmax != clean.cmax {
+				return fmt.Errorf("losses: %s computed different results under drop=%g (moved %d vs %d)",
+					s.name, rate, lossy.moved, clean.moved)
+			}
+			if lossy.st.TotalRetransmits() == 0 {
+				return fmt.Errorf("losses: %s saw no retransmissions at drop=%g", s.name, rate)
+			}
+			if lossy.st.Time() <= clean.st.Time() {
+				return fmt.Errorf("losses: %s not slowed by drop=%g", s.name, rate)
+			}
+		}
+		// Retransmitted traffic grows with the drop rate.
+		for i := 2; i < len(rates); i++ {
+			if s.runs[rates[i]].st.TotalRetryBytes() <= s.runs[rates[i-1]].st.TotalRetryBytes() {
+				return fmt.Errorf("losses: %s retry bytes not increasing in drop rate (%g vs %g)",
+					s.name, rates[i-1], rates[i])
+			}
+		}
+	}
+
+	// Determinism regression: replaying a lossy point reproduces the
+	// timeline bit-exactly.
+	replay, err := runPoint(true, rates[len(rates)-1], sweepRetries)
+	if err != nil {
+		return err
+	}
+	first := strategies[0].runs[rates[len(rates)-1]]
+	if replay.st.Time() != first.st.Time() ||
+		replay.st.TotalRetransmits() != first.st.TotalRetransmits() ||
+		replay.st.TotalBytes() != first.st.TotalBytes() {
+		return fmt.Errorf("losses: lossy campaign not deterministic: %.9g/%d vs %.9g/%d",
+			replay.st.Time(), replay.st.TotalRetransmits(), first.st.Time(), first.st.TotalRetransmits())
+	}
+
+	// The headline comparison: at every drop rate the model-driven
+	// partition retransmits no more than the equal-weight baseline.
+	opti, samp := strategies[0], strategies[1]
+	fmt.Fprintf(cfg.Out, "\nretry cost at worst drop rate (%.0f%%): optipart %d bytes, samplesort %d bytes (%s)\n",
+		rates[len(rates)-1]*100,
+		opti.runs[rates[len(rates)-1]].st.TotalRetryBytes(),
+		samp.runs[rates[len(rates)-1]].st.TotalRetryBytes(),
+		stats.Pct(float64(samp.runs[rates[len(rates)-1]].st.TotalRetryBytes()),
+			float64(opti.runs[rates[len(rates)-1]].st.TotalRetryBytes())))
+	for _, rate := range rates[1:] {
+		or, sr := opti.runs[rate], samp.runs[rate]
+		if or.st.TotalRetryBytes() > sr.st.TotalRetryBytes() {
+			return fmt.Errorf("losses: optipart retransmitted more than samplesort at drop=%g: %d > %d bytes",
+				rate, or.st.TotalRetryBytes(), sr.st.TotalRetryBytes())
+		}
+		if or.st.Time() > sr.st.Time() {
+			return fmt.Errorf("losses: optipart slower than samplesort at drop=%g: %g > %g",
+				rate, or.st.Time(), sr.st.Time())
+		}
+		// And the model agrees: PredictLossy with the smaller Cmax is the
+		// smaller prediction.
+		if machine.RetryInflation(rate, 0) <= 1 {
+			return fmt.Errorf("losses: RetryInflation(%g) not > 1", rate)
+		}
+	}
+
+	// Tolerance dimension: the same worst-case drop rate with an undersized
+	// retransmit cap must not hang and must not deliver wrong data — it
+	// escalates to a structured link failure naming the dead link, the
+	// trigger for the recovery-by-repartition path of the faults experiment.
+	worst := rates[len(rates)-1]
+	_, err = runPoint(true, worst, 1)
+	var lf *comm.LinkFailure
+	if !errors.As(err, &lf) {
+		return fmt.Errorf("losses: drop=%g with retransmit cap 1: want *comm.LinkFailure, got %w", worst, err)
+	}
+	fmt.Fprintf(cfg.Out, "undersized tolerance (cap 1 at %.0f%% drop) escalates structurally: %v\n", worst*100, lf)
+	return nil
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optipart/internal/comm"
+)
+
+var netModel = comm.CostModel{Tc: 1e-9, Ts: 3e-5, Tw: 4e-8}
+
+func lossyBody(c *comm.Comm) error {
+	r := int64(c.Rank())
+	comm.Allreduce(c, []int64{r, r * 2, r * 3}, 8, comm.SumI64)
+	comm.Allgather(c, []int64{r}, 8)
+	send := make([][]int64, c.Size())
+	for dst := range send {
+		send[dst] = []int64{r, int64(dst)}
+	}
+	comm.Alltoallv(c, send, 8, comm.AlltoallvOptions{StageWidth: 2})
+	c.Barrier()
+	return nil
+}
+
+// TestNetPlanDeterminism: the same seeded plan over the same traffic yields
+// a bit-identical lossy timeline — the ISSUE's determinism regression.
+func TestNetPlanDeterminism(t *testing.T) {
+	run := func() *comm.Stats {
+		st, err := Run(8, netModel, &Plan{Net: UniformLoss(42, 0.15, 0.05)}, lossyBody)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Clocks, b.Clocks) {
+		t.Fatalf("clocks differ under identical NetPlan: %v vs %v", a.Clocks, b.Clocks)
+	}
+	if !reflect.DeepEqual(a.Retransmits, b.Retransmits) ||
+		!reflect.DeepEqual(a.RetryBytes, b.RetryBytes) ||
+		!reflect.DeepEqual(a.BytesSent, b.BytesSent) {
+		t.Fatalf("traffic differs under identical NetPlan")
+	}
+	if a.TotalRetransmits() == 0 {
+		t.Fatalf("15%% drop plan produced no retransmissions")
+	}
+	// A different seed must (with overwhelming probability) give a
+	// different timeline — the seed is actually consulted.
+	c, err := Run(8, netModel, &Plan{Net: UniformLoss(43, 0.15, 0.05)}, lossyBody)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if reflect.DeepEqual(a.Retransmits, c.Retransmits) && reflect.DeepEqual(a.Clocks, c.Clocks) {
+		t.Fatalf("different seeds produced identical lossy timelines")
+	}
+}
+
+// TestNetPlanZeroRatesIsNoop: a plan whose links are all quiet is Empty,
+// compiles to a nil injector, and Run matches a plain checked run exactly.
+func TestNetPlanZeroRatesIsNoop(t *testing.T) {
+	quiet := &NetPlan{Seed: 1, Links: []LinkFault{{Src: -1, Dst: -1}}}
+	if !quiet.Empty() {
+		t.Fatalf("all-quiet plan not Empty")
+	}
+	if quiet.Injector() != nil {
+		t.Fatalf("all-quiet plan compiled to a non-nil injector")
+	}
+	st0, err := comm.RunChecked(8, netModel, lossyBody)
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	st1, err := Run(8, netModel, &Plan{Net: quiet}, lossyBody)
+	if err != nil {
+		t.Fatalf("quiet-plan run failed: %v", err)
+	}
+	if !reflect.DeepEqual(st0.Clocks, st1.Clocks) || !reflect.DeepEqual(st0.BytesSent, st1.BytesSent) {
+		t.Fatalf("quiet NetPlan changed the run")
+	}
+	if st1.Retransmits != nil {
+		t.Fatalf("quiet NetPlan allocated transport accounting")
+	}
+}
+
+// TestLinkFaultMatching: first-match-wins and wildcard semantics.
+func TestLinkFaultMatching(t *testing.T) {
+	np := &NetPlan{
+		Seed: 7,
+		Links: []LinkFault{
+			{Src: 0, Dst: 1, Op: "allreduce"}, // specific and quiet: shields 0→1 allreduce
+			{Src: -1, Dst: -1, DropRate: 1},   // everything else dies
+		},
+	}
+	inj := np.Injector()
+	if out := inj(0, 1, "allreduce", 0, 0, 0, 100); out.Drop {
+		t.Fatalf("specific quiet link not honored before wildcard")
+	}
+	if out := inj(0, 1, "allgather", 0, 0, 0, 100); !out.Drop {
+		t.Fatalf("op wildcard fell through: allgather on 0->1 should hit the drop-all rule")
+	}
+	if out := inj(2, 3, "allreduce", 0, 0, 0, 100); !out.Drop {
+		t.Fatalf("rank wildcard fell through")
+	}
+}
+
+// TestNetPlanValidate rejects out-of-range ranks, rates, and delays with
+// messages naming the offending field.
+func TestNetPlanValidate(t *testing.T) {
+	cases := []struct {
+		lf   LinkFault
+		frag string
+	}{
+		{LinkFault{Src: 8, Dst: -1}, "src rank 8"},
+		{LinkFault{Src: -1, Dst: -2}, "dst rank -2"},
+		{LinkFault{Src: -1, Dst: -1, DropRate: 1.5}, "drop rate 1.5"},
+		{LinkFault{Src: -1, Dst: -1, CorruptRate: -0.1}, "corrupt rate -0.1"},
+		{LinkFault{Src: -1, Dst: -1, DupRate: 2}, "dup rate 2"},
+		{LinkFault{Src: -1, Dst: -1, Delay: -1}, "negative delay"},
+	}
+	for _, tc := range cases {
+		np := &NetPlan{Links: []LinkFault{tc.lf}}
+		err := np.Validate(8)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("Validate(%+v) = %v, want error containing %q", tc.lf, err, tc.frag)
+		}
+	}
+	if err := (&NetPlan{Links: []LinkFault{{Src: -1, Dst: 7, DropRate: 0.5}}}).Validate(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	var nilPlan *NetPlan
+	if err := nilPlan.Validate(8); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+}
+
+// TestRunRejectsInvalidNetPlan: fault.Run validates the NetPlan before
+// starting the world.
+func TestRunRejectsInvalidNetPlan(t *testing.T) {
+	bad := &Plan{Net: UniformLoss(1, 2.0, 0)}
+	_, err := Run(4, netModel, bad, lossyBody)
+	if err == nil || !strings.Contains(err.Error(), "drop rate") {
+		t.Fatalf("invalid NetPlan not rejected by Run: %v", err)
+	}
+}
+
+// TestNetPlanDeadLinkEscalates: a DropRate-1 link escalates to
+// *comm.LinkFailure (the recovery-by-repartition trigger) instead of
+// hanging or delivering garbage.
+func TestNetPlanDeadLinkEscalates(t *testing.T) {
+	np := &NetPlan{
+		Seed:      3,
+		Links:     []LinkFault{{Src: -1, Dst: 1, DropRate: 1}},
+		Transport: comm.TransportOptions{MaxRetries: 2},
+	}
+	_, err := Run(4, netModel, &Plan{Net: np}, lossyBody)
+	var lf *comm.LinkFailure
+	if !errors.As(err, &lf) {
+		t.Fatalf("dead link: want *comm.LinkFailure, got %v", err)
+	}
+	if lf.Dst != 1 {
+		t.Fatalf("LinkFailure names wrong destination: %v", lf)
+	}
+}
+
+// TestNetPlanComposesWithStragglers: network faults stack with the PR 1
+// fault model — a straggler's TwMult and a lossy wire both stretch the
+// same run.
+func TestNetPlanComposesWithStragglers(t *testing.T) {
+	base, err := Run(8, netModel, &Plan{}, lossyBody)
+	if err != nil {
+		t.Fatalf("baseline failed: %v", err)
+	}
+	both, err := Run(8, netModel, &Plan{
+		Stragglers: []Straggler{{Rank: 3, TcMult: 4, TwMult: 4}},
+		Net:        UniformLoss(11, 0.1, 0),
+	}, lossyBody)
+	if err != nil {
+		t.Fatalf("combined plan failed: %v", err)
+	}
+	if both.Time() <= base.Time() {
+		t.Fatalf("straggler+loss not slower than clean: %g <= %g", both.Time(), base.Time())
+	}
+	if both.TotalRetransmits() == 0 {
+		t.Fatalf("combined plan lost the network faults")
+	}
+}

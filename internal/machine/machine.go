@@ -17,6 +17,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"optipart/internal/comm"
 )
@@ -72,6 +73,37 @@ func (m Machine) Predict(alpha float64, wmax, cmax int64) float64 {
 // (e.g. high-order elements).
 func (m Machine) PredictKernel(alpha float64, payloadBytes int, wmax, cmax int64) float64 {
 	return alpha*m.Tc*WordBytes*float64(wmax) + m.Tw*float64(payloadBytes)*float64(cmax)
+}
+
+// RetryInflation is the first-order cost multiplier reliable delivery pays
+// on a network that drops frames with probability q: every byte is sent an
+// expected 1/(1-q) times (selective repeat resends the lost fraction each
+// round), and each retransmission round additionally waits a timeout of
+// rtoFactor times the delivery cost with probability ~q. rtoFactor <= 0
+// means the transport default. Loss multiplies only wire terms — local
+// memory traffic is unaffected — so apply it to tw·Cmax, not α·tc·Wmax.
+func RetryInflation(dropRate, rtoFactor float64) float64 {
+	if dropRate <= 0 {
+		return 1
+	}
+	if dropRate >= 1 {
+		return math.Inf(1)
+	}
+	if rtoFactor <= 0 {
+		rtoFactor = comm.DefaultRTOFactor
+	}
+	return (1 + rtoFactor*dropRate) / (1 - dropRate)
+}
+
+// PredictLossy evaluates Eq. (3) on a machine whose network drops frames
+// with probability dropRate, inflating the communication term by
+// RetryInflation: Tp = α·tc·Wmax + tw·Cmax·inflation. This is the model
+// the losses experiment validates against the transport's measured
+// retransmissions — and the reason a smaller Cmax is worth even more on a
+// lossy network than Eq. (3) alone suggests.
+func (m Machine) PredictLossy(alpha float64, wmax, cmax int64, dropRate float64) float64 {
+	return alpha*m.Tc*WordBytes*float64(wmax) +
+		m.Tw*float64(GhostPayloadBytes)*float64(cmax)*RetryInflation(dropRate, 0)
 }
 
 func (m Machine) String() string {

@@ -135,6 +135,29 @@ type (
 	Straggler   = fault.Straggler
 )
 
+// Unreliable-network transport. A NetPlan attached to a FaultPlan routes
+// every collective through a checksummed, acknowledged transport over a
+// lossy wire: seeded per-frame drop/corrupt/duplicate/delay injection per
+// directed link (LinkFault), reliable delivery by retransmission with
+// exponential backoff, and retransmission costs charged to the machine
+// model (Stats.Retransmits / Stats.RetryBytes). A link whose message
+// exhausts the TransportOptions retransmit cap fails the world with a
+// structured *LinkFailure — the trigger for recovery-by-repartition on the
+// survivors. See `experiments -run losses` for the drop-rate sweep built
+// on top.
+type (
+	NetPlan          = fault.NetPlan
+	LinkFault        = fault.LinkFault
+	LinkFailure      = comm.LinkFailure
+	TransportOptions = comm.TransportOptions
+)
+
+// UniformLoss is the common NetPlan: every link drops frames at dropRate
+// and corrupts them at corruptRate, deterministically in the seed.
+func UniformLoss(seed int64, dropRate, corruptRate float64) *NetPlan {
+	return fault.UniformLoss(seed, dropRate, corruptRate)
+}
+
 // RunChecked executes f on p ranks like Run, but returns instead of
 // hanging or crashing when a rank fails.
 func RunChecked(p int, m Machine, f func(c *Comm) error) (*Stats, error) {

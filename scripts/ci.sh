@@ -25,7 +25,10 @@ fi
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test -race $* ./..."
-go test -race "$@" ./...
+echo "==> go test -race -shuffle=on $* ./..."
+go test -race -shuffle=on "$@" ./...
+
+echo "==> transport benchmark smoke"
+go test -run '^$' -bench BenchmarkTransport -benchtime 1x ./internal/comm
 
 echo "CI OK"
