@@ -99,6 +99,28 @@ func BenchmarkMortonIndex(b *testing.B) {
 	_ = sink
 }
 
+func BenchmarkHilbertRank(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	keys := benchKeys(1024)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += curve.Rank(keys[i%len(keys)]).Lo
+	}
+	_ = sink
+}
+
+func BenchmarkMortonRank(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	keys := benchKeys(1024)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += curve.Rank(keys[i%len(keys)]).Lo
+	}
+	_ = sink
+}
+
 func BenchmarkBalance21(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	tree := octree.AdaptiveMesh(rng, 500, 3, octree.Normal, 7)

@@ -1,0 +1,219 @@
+// Command benchfmt turns raw `go test -bench -benchmem` output into the
+// repo's BENCH_<n>.json regression record, pairing each benchmark with its
+// recorded pre-optimization baseline so speedups and allocation ratios are
+// part of the artifact rather than a claim in a commit message.
+//
+// Usage:
+//
+//	benchfmt -out BENCH_3.json -baseline scripts/bench_baseline_3.txt raw1.txt raw2.txt
+//	benchfmt -check BENCH_3.json
+//
+// The -check mode is the CI guard: it parses the JSON and fails on a
+// malformed or empty record, so a bench refresh that silently wrote garbage
+// is caught at the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Entry pairs a current measurement with its baseline, when one exists.
+// Speedup and AllocsRatio are pointers so a ratio of exactly 0 (all
+// allocations eliminated) is still recorded.
+type Entry struct {
+	Result
+	Baseline    *Result  `json:"baseline,omitempty"`
+	Speedup     *float64 `json:"speedup,omitempty"`      // baseline ns/op ÷ current ns/op
+	AllocsRatio *float64 `json:"allocs_ratio,omitempty"` // current allocs/op ÷ baseline allocs/op
+}
+
+// File is the BENCH_<n>.json schema.
+type File struct {
+	Note       string  `json:"note"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path")
+	baseline := flag.String("baseline", "", "raw baseline bench output to pair against")
+	check := flag.String("check", "", "validate an existing BENCH JSON instead of writing one")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchfmt: %s OK\n", *check)
+		return
+	}
+
+	if *out == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchfmt -out BENCH.json [-baseline raw.txt] raw.txt...")
+		os.Exit(2)
+	}
+	var cur []Result
+	for _, path := range flag.Args() {
+		rs, err := parseFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
+		}
+		cur = append(cur, rs...)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark lines found in inputs")
+		os.Exit(1)
+	}
+	base := map[string]Result{}
+	if *baseline != "" {
+		rs, err := parseFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range rs {
+			base[r.Pkg+"."+r.Name] = r
+		}
+	}
+	f := File{Note: "ns/op and allocs/op per benchmark; baseline is the pre-optimization capture from scripts/bench_baseline_*.txt"}
+	for _, r := range cur {
+		e := Entry{Result: r}
+		if b, ok := base[r.Pkg+"."+r.Name]; ok {
+			b := b
+			e.Baseline = &b
+			if r.NsPerOp > 0 {
+				v := round3(b.NsPerOp / r.NsPerOp)
+				e.Speedup = &v
+			}
+			if b.AllocsPerOp > 0 {
+				v := round3(float64(r.AllocsPerOp) / float64(b.AllocsPerOp))
+				e.AllocsRatio = &v
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, e)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchfmt: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// checkFile validates a BENCH JSON record.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	for _, e := range f.Benchmarks {
+		if e.Name == "" || e.NsPerOp <= 0 {
+			return fmt.Errorf("%s: malformed entry %+v", path, e.Result)
+		}
+	}
+	return nil
+}
+
+// parseFile extracts benchmark lines from raw `go test -bench` output.
+func parseFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Result
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		r.Pkg = pkg
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-N  iters  X ns/op [Y MB/s] [Z B/op] [W allocs/op]" line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	var r Result
+	// Strip the -GOMAXPROCS suffix, if any.
+	r.Name = fields[0]
+	if i := strings.LastIndexByte(fields[0], '-'); i > 0 {
+		if _, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			r.Name = fields[0][:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -12,8 +12,9 @@
 package alloc
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"optipart/internal/sfc"
 )
@@ -126,7 +127,7 @@ func orderNodes(t Torus, policy Policy) []Coord {
 			Level: level,
 		})
 	}
-	sort.Slice(coords, func(i, j int) bool { return idx(coords[i]) < idx(coords[j]) })
+	slices.SortFunc(coords, func(a, b Coord) int { return cmp.Compare(idx(a), idx(b)) })
 	return coords
 }
 
@@ -166,7 +167,7 @@ func (a *Allocator) Free(nodes []Coord) {
 	for i, c := range nodes {
 		idxs[i] = pos[c]
 	}
-	sort.Ints(idxs)
+	slices.Sort(idxs)
 	for _, i := range idxs {
 		a.free = append(a.free, run{i, i + 1})
 	}
@@ -174,7 +175,7 @@ func (a *Allocator) Free(nodes []Coord) {
 }
 
 func (a *Allocator) coalesce() {
-	sort.Slice(a.free, func(i, j int) bool { return a.free[i].lo < a.free[j].lo })
+	slices.SortFunc(a.free, func(x, y run) int { return cmp.Compare(x.lo, y.lo) })
 	out := a.free[:0]
 	for _, r := range a.free {
 		if n := len(out); n > 0 && out[n-1].hi == r.lo {

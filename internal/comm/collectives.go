@@ -97,11 +97,17 @@ func Allgather[T any](c *Comm, vals []T, elemBytes int) []T {
 			w.msgsSent[i] += int64(steps)
 		}
 		if w.net != nil {
-			contrib := make([]int64, w.p)
+			// Runs single-threaded on rank 0 between the deposit and consume
+			// barriers, so the World-level scratch needs no locking. Layout:
+			// [0:p] per-rank contributions, [p:2p+1] their prefix sums.
+			if cap(w.i64Scratch) < 2*w.p+1 {
+				w.i64Scratch = make([]int64, 2*w.p+1)
+			}
+			contrib := w.i64Scratch[:w.p]
 			for r := 0; r < w.p; r++ {
 				contrib[r] = int64(len(w.slots[r].([]T)) * elemBytes)
 			}
-			w.pendingMsgs = netAllgather(w.pendingMsgs[:0], w.p, contrib)
+			w.pendingMsgs = netAllgather(w.pendingMsgs[:0], w.p, contrib, w.i64Scratch[w.p:2*w.p+1])
 		}
 		return w.model.Ts*steps + w.model.Tw*m
 	}, func(scratch any) any {

@@ -100,12 +100,14 @@ type World struct {
 	// consume barriers, the same window as the byte accounting above.
 	net         NetInjector
 	netOpts     TransportOptions
-	netSeq      []uint64 // per directed (src,dst) link message sequence counter
-	retrans     []int64  // per-rank retransmission count
-	retryBytes  []int64  // per-rank retransmitted bytes
-	dups        []int64  // per-rank duplicate deliveries discarded (receiver side)
-	pendingMsgs []netMsg // logical messages of the collective step in flight
-	pktScratch  []int    // reusable frame-index buffer for deliver
+	netSeq      []uint64  // per directed (src,dst) link message sequence counter
+	retrans     []int64   // per-rank retransmission count
+	retryBytes  []int64   // per-rank retransmitted bytes
+	dups        []int64   // per-rank duplicate deliveries discarded (receiver side)
+	pendingMsgs []netMsg  // logical messages of the collective step in flight
+	pktScratch  []int     // reusable frame-index buffer for deliver
+	roundsBuf   []float64 // reusable per-round delay buffer for netStep
+	i64Scratch  []int64   // reusable int64 scratch (allgather contributions, prefix sums)
 
 	statusMu sync.Mutex
 	status   []rankStatus // watchdog-visible mirror of sigs/seqs/phases

@@ -1,8 +1,9 @@
 package comm
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -73,7 +74,7 @@ func (e *MismatchError) Error() string {
 	for k := range byOp {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return byOp[keys[i]][0] < byOp[keys[j]][0] })
+	slices.SortFunc(keys, func(a, b string) int { return cmp.Compare(byOp[a][0], byOp[b][0]) })
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
 		ranks := byOp[k]

@@ -1,9 +1,10 @@
 package comm
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -40,11 +41,11 @@ func (t *Trace) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := append([]Event(nil), t.events...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+	slices.SortFunc(out, func(a, b Event) int {
+		if a.Start != b.Start {
+			return cmp.Compare(a.Start, b.Start)
 		}
-		return out[i].Rank < out[j].Rank
+		return cmp.Compare(a.Rank, b.Rank)
 	})
 	return out
 }

@@ -184,7 +184,7 @@ func unitJitter(pk *packet, attempt int) float64 {
 func (w *World) netStep(op string) (float64, error) {
 	msgs := w.pendingMsgs
 	w.pendingMsgs = msgs[:0]
-	var rounds []float64
+	rounds := w.roundsBuf[:0]
 	for i := range msgs {
 		extra, err := w.deliver(op, &msgs[i])
 		if err != nil {
@@ -201,6 +201,7 @@ func (w *World) netStep(op string) (float64, error) {
 	for _, v := range rounds {
 		total += v
 	}
+	w.roundsBuf = rounds[:0]
 	return total, nil
 }
 
@@ -338,9 +339,10 @@ func netTree(msgs []netMsg, p int, bytes int64) []netMsg {
 
 // netAllgather appends the recursive-doubling allgather: in round s each
 // rank ships its accumulated 2^s-aligned block, so message sizes double as
-// the gathered prefix grows. contrib is each rank's contribution in bytes.
-func netAllgather(msgs []netMsg, p int, contrib []int64) []netMsg {
-	pre := make([]int64, p+1)
+// the gathered prefix grows. contrib is each rank's contribution in bytes;
+// pre is caller-provided scratch of length p+1 for the prefix sums.
+func netAllgather(msgs []netMsg, p int, contrib, pre []int64) []netMsg {
+	pre[0] = 0
 	for i, b := range contrib {
 		pre[i+1] = pre[i] + b
 	}

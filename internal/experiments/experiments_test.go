@@ -2,14 +2,28 @@ package experiments
 
 import (
 	"bytes"
-	"strings"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"strings"
 )
 
 // TestAllExperimentsQuick runs every registered experiment in quick mode;
 // each driver contains its own shape assertions (monotone trends,
 // pathological cases, improvement thresholds), so passing means the scaled
 // reproduction reproduces the paper's qualitative results.
+//
+// Every experiment's output is additionally compared byte-for-byte against
+// the golden transcript captured before the linearized-rank/radix-sort
+// rewrite of the hot paths. Those optimizations restructure sorting,
+// splitter refinement, and ownership lookup but by construction preserve
+// every modeled quantity; any drift here means a perf change leaked into
+// the model. Regenerate goldens only for an intentional model change:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestAllExperimentsQuick
+var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""
+
 func TestAllExperimentsQuick(t *testing.T) {
 	for _, name := range Names() {
 		name := name
@@ -21,8 +35,43 @@ func TestAllExperimentsQuick(t *testing.T) {
 			if buf.Len() == 0 {
 				t.Fatalf("%s produced no output", name)
 			}
+			golden := filepath.Join("testdata", "golden", name+".golden")
+			if updateGolden {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden transcript (set UPDATE_GOLDEN=1 to record): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s output drifted from golden transcript %s\n--- got ---\n%s\n--- want ---\n%s",
+					name, golden, firstDiffContext(buf.String(), string(want)), firstDiffContext(string(want), buf.String()))
+			}
 		})
 	}
+}
+
+// firstDiffContext returns a few lines of a around its first divergence
+// from b, keeping failure messages readable for multi-KB transcripts.
+func firstDiffContext(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range la {
+		if i >= len(lb) || la[i] != lb[i] {
+			lo := i - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 3
+			if hi > len(la) {
+				hi = len(la)
+			}
+			return strings.Join(la[lo:hi], "\n")
+		}
+	}
+	return "(prefix identical; lengths differ)"
 }
 
 func TestRunUnknown(t *testing.T) {

@@ -10,7 +10,8 @@
 package partition
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"optipart/internal/sfc"
 )
@@ -27,23 +28,54 @@ func IsInf(k sfc.Key) bool { return k == InfKey }
 // rank p-1 owns everything from Seps[p-2] on. Separators are octant keys —
 // partition boundaries always fall on octree node boundaries, which is what
 // lets a coarse boundary reduce surface area.
+//
+// Splitters must not be copied after first use: Owner and Ranges lazily
+// linearize the separators into curve ranks so the per-key ownership lookup
+// (the ghost-exchange hot path) is a binary search over integers rather than
+// repeated tree-walking comparisons.
 type Splitters struct {
 	Curve *sfc.Curve
 	Seps  []sfc.Key // p-1 separators, non-decreasing in curve order
+
+	ranksOnce sync.Once
+	sepRanks  []sfc.Rank128 // Rank(Seps[i]); MaxRank128 for InfKey
 }
 
 // P returns the number of partitions.
 func (s *Splitters) P() int { return len(s.Seps) + 1 }
 
+// ranks returns the linearized separator ranks, computing them on first use.
+func (s *Splitters) ranks() []sfc.Rank128 {
+	s.ranksOnce.Do(func() {
+		r := make([]sfc.Rank128, len(s.Seps))
+		for i, sep := range s.Seps {
+			if IsInf(sep) {
+				r[i] = sfc.MaxRank128 // infinity is after every key
+			} else {
+				r[i] = s.Curve.Rank(sep)
+			}
+		}
+		s.sepRanks = r
+	})
+	return s.sepRanks
+}
+
 // Owner returns the partition owning key k: the number of separators at or
 // before k in curve order.
 func (s *Splitters) Owner(k sfc.Key) int {
-	return sort.Search(len(s.Seps), func(i int) bool {
-		if IsInf(s.Seps[i]) {
-			return true // infinity is after every key
+	kr := sfc.MaxRank128
+	if !IsInf(k) {
+		kr = s.Curve.Rank(k)
+	}
+	// First separator strictly after k; equality means the separator is at
+	// or before k, so it counts toward the owner index.
+	i, _ := slices.BinarySearchFunc(s.ranks(), kr, func(sep, kr sfc.Rank128) int {
+		if !kr.Less(sep) {
+			return -1
 		}
-		return s.Curve.Compare(s.Seps[i], k) > 0
+		return 1
 	})
+	return i
 }
 
 // Ranges returns the p+1 boundaries of the owner ranges within a local
@@ -51,18 +83,20 @@ func (s *Splitters) Owner(k sfc.Key) int {
 // sorted[out[r]:out[r+1]].
 func (s *Splitters) Ranges(sorted []sfc.Key) []int {
 	p := s.P()
+	seps := s.ranks()
 	out := make([]int, p+1)
 	out[p] = len(sorted)
 	for r := 1; r < p; r++ {
-		sep := s.Seps[r-1]
-		if IsInf(sep) {
+		sr := seps[r-1]
+		if sr == sfc.MaxRank128 {
 			out[r] = len(sorted)
 			continue
 		}
 		lo := out[r-1]
-		out[r] = lo + sort.Search(len(sorted)-lo, func(i int) bool {
-			return s.Curve.Compare(sorted[lo+i], sep) >= 0
+		i, _ := slices.BinarySearchFunc(sorted[lo:], sr, func(k sfc.Key, target sfc.Rank128) int {
+			return s.Curve.Rank(k).Compare(target)
 		})
+		out[r] = lo + i
 	}
 	return out
 }

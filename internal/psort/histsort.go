@@ -1,7 +1,7 @@
 package psort
 
 import (
-	"sort"
+	"slices"
 
 	"optipart/internal/comm"
 	"optipart/internal/sfc"
@@ -55,13 +55,15 @@ func HistogramSort(c *comm.Comm, local []sfc.Key, opts HistogramSortOptions) []s
 	grain := float64(n) / float64(p)
 	slack := int64(opts.Tolerance * grain)
 
+	// The sorted local run linearized once; every histogram probe below is a
+	// binary search over these integer ranks.
+	localRanks := rankKeys(curve, local)
+
 	// Global rank of a key: how many elements precede it.
 	rankOf := func(cands []sfc.Key) []int64 {
 		counts := make([]int64, len(cands))
 		for i, cand := range cands {
-			counts[i] = int64(sort.Search(len(local), func(j int) bool {
-				return curve.Compare(local[j], cand) >= 0
-			}))
+			counts[i] = int64(searchRank(localRanks, curve.Rank(cand)))
 		}
 		c.Compute(int64(len(cands)) * KeyBytes) // histogram pass
 		return comm.Allreduce(c, counts, 8, comm.SumI64)
@@ -71,10 +73,7 @@ func HistogramSort(c *comm.Comm, local []sfc.Key, opts HistogramSortOptions) []s
 	var pool []histCand
 	addCandidates := func(fresh []sfc.Key) {
 		all := comm.Allgather(c, fresh, KeyBytes)
-		Sort := func(ks []sfc.Key) {
-			sort.Slice(ks, func(i, j int) bool { return curve.Less(ks[i], ks[j]) })
-		}
-		Sort(all)
+		TreeSort(curve, all)
 		uniq := all[:0]
 		for i, k := range all {
 			if i == 0 || k != all[i-1] {
@@ -85,7 +84,15 @@ func HistogramSort(c *comm.Comm, local []sfc.Key, opts HistogramSortOptions) []s
 		for i, k := range uniq {
 			pool = append(pool, histCand{key: k, rank: ranks[i]})
 		}
-		sort.Slice(pool, func(i, j int) bool { return pool[i].rank < pool[j].rank })
+		slices.SortFunc(pool, func(a, b histCand) int {
+			switch {
+			case a.rank < b.rank:
+				return -1
+			case a.rank > b.rank:
+				return 1
+			}
+			return 0
+		})
 	}
 
 	targets := make([]int64, p-1)
@@ -128,7 +135,7 @@ func HistogramSort(c *comm.Comm, local []sfc.Key, opts HistogramSortOptions) []s
 				continue
 			}
 			done = false
-			lo, hi := boundingInterval(curve, local, pool, g)
+			lo, hi := boundingInterval(curve, localRanks, pool, g)
 			for i := 1; i <= opts.SamplesPerRank; i++ {
 				if idx := lo + i*(hi-lo)/(opts.SamplesPerRank+1); idx > lo && idx < hi && idx < len(local) {
 					fresh = append(fresh, local[idx])
@@ -149,19 +156,7 @@ func HistogramSort(c *comm.Comm, local []sfc.Key, opts HistogramSortOptions) []s
 	}
 
 	// Bucket and exchange exactly like SampleSort.
-	send := make([][]sfc.Key, p)
-	lo := 0
-	for r := 0; r < p; r++ {
-		hi := len(local)
-		if r < len(splitters) {
-			s := splitters[r]
-			hi = lo + sort.Search(len(local)-lo, func(i int) bool {
-				return !curve.Less(local[lo+i], s)
-			})
-		}
-		send[r] = local[lo:hi]
-		lo = hi
-	}
+	send := bucketBySplitters(curve, local, splitters, p)
 	c.Compute(int64(len(local)) * KeyBytes)
 
 	c.SetPhase("all2all")
@@ -184,22 +179,15 @@ type histCand struct {
 
 // boundingInterval returns the local index range bracketing target rank g
 // between the nearest known candidates below and above it.
-func boundingInterval(curve *sfc.Curve, local []sfc.Key, pool []histCand, g int64) (int, int) {
-	lo, hi := 0, len(local)
+func boundingInterval(curve *sfc.Curve, localRanks []sfc.Rank128, pool []histCand, g int64) (int, int) {
+	lo, hi := 0, len(localRanks)
 	for _, cd := range pool {
-		if cd.rank <= g {
-			if idx := sort.Search(len(local), func(j int) bool {
-				return curve.Compare(local[j], cd.key) >= 0
-			}); idx > lo {
-				lo = idx
-			}
+		idx := searchRank(localRanks, curve.Rank(cd.key))
+		if cd.rank <= g && idx > lo {
+			lo = idx
 		}
-		if cd.rank >= g {
-			if idx := sort.Search(len(local), func(j int) bool {
-				return curve.Compare(local[j], cd.key) >= 0
-			}); idx < hi {
-				hi = idx
-			}
+		if cd.rank >= g && idx < hi {
+			hi = idx
 		}
 	}
 	if lo > hi {

@@ -1,7 +1,7 @@
 package psort
 
 import (
-	"sort"
+	"slices"
 
 	"optipart/internal/comm"
 	"optipart/internal/sfc"
@@ -43,7 +43,7 @@ func SampleSort(c *comm.Comm, local []sfc.Key, opts SampleSortOptions) []sfc.Key
 		}
 	}
 	all := comm.Allgather(c, samples, KeyBytes)
-	sort.Slice(all, func(i, j int) bool { return curve.Less(all[i], all[j]) })
+	TreeSort(curve, all)
 	c.Compute(LocalSortCost(len(all), curve.Dim))
 	splitters := make([]sfc.Key, 0, p-1)
 	for i := 1; i < p; i++ {
@@ -54,19 +54,7 @@ func SampleSort(c *comm.Comm, local []sfc.Key, opts SampleSortOptions) []sfc.Key
 	}
 
 	// Bucket the sorted local run by splitter and exchange.
-	send := make([][]sfc.Key, p)
-	lo := 0
-	for r := 0; r < p; r++ {
-		hi := len(local)
-		if r < len(splitters) {
-			s := splitters[r]
-			hi = lo + sort.Search(len(local)-lo, func(i int) bool {
-				return !curve.Less(local[lo+i], s)
-			})
-		}
-		send[r] = local[lo:hi]
-		lo = hi
-	}
+	send := bucketBySplitters(curve, local, splitters, p)
 	c.Compute(int64(len(local)) * KeyBytes) // one scan to split into buckets
 
 	c.SetPhase("all2all")
@@ -79,5 +67,41 @@ func SampleSort(c *comm.Comm, local []sfc.Key, opts SampleSortOptions) []sfc.Key
 		out = append(out, run...)
 	}
 	ChargeLocalSort(c, curve, out)
+	return out
+}
+
+// bucketBySplitters cuts the sorted local run into p contiguous buckets at
+// the splitter keys; rank r's bucket holds keys in [splitters[r-1],
+// splitters[r]). Each boundary is a binary search over linearized ranks.
+func bucketBySplitters(curve *sfc.Curve, local, splitters []sfc.Key, p int) [][]sfc.Key {
+	send := make([][]sfc.Key, p)
+	lo := 0
+	for r := 0; r < p; r++ {
+		hi := len(local)
+		if r < len(splitters) {
+			sr := curve.Rank(splitters[r])
+			i, _ := slices.BinarySearchFunc(local[lo:], sr, func(k sfc.Key, t sfc.Rank128) int {
+				return curve.Rank(k).Compare(t)
+			})
+			hi = lo + i
+		}
+		send[r] = local[lo:hi]
+		lo = hi
+	}
+	return send
+}
+
+// searchRank returns the first index in ranks with ranks[i] >= r.
+func searchRank(ranks []sfc.Rank128, r sfc.Rank128) int {
+	i, _ := slices.BinarySearchFunc(ranks, r, sfc.Rank128.Compare)
+	return i
+}
+
+// rankKeys linearizes every key; keys[i]'s curve position is out[i].
+func rankKeys(curve *sfc.Curve, keys []sfc.Key) []sfc.Rank128 {
+	out := make([]sfc.Rank128, len(keys))
+	for i, k := range keys {
+		out[i] = curve.Rank(k)
+	}
 	return out
 }

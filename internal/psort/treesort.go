@@ -2,10 +2,21 @@
 // sequential TreeSort of Algorithm 1 (an MSD radix sort whose buckets are
 // octree nodes visited in SFC order) and the parallel SampleSort baseline
 // used by Dendro, against which OptiPart is compared in §5.2.
+//
+// The default TreeSort linearizes each key into its 128-bit curve rank
+// (sfc.Rank) once, then radix-sorts the ranks — every hot comparison is a
+// branchless integer compare, and the per-key virtual curve dispatch of the
+// tree-walking formulation is paid exactly once per key instead of once per
+// level per key. TreeSortComparator keeps the paper-literal tree-walking
+// implementation for the equivalence tests. Both produce identical output
+// (curve order is a total order and equal keys are indistinguishable
+// values), and both are priced by the same LocalSortCost — the simulator
+// got faster, not the modeled machine.
 package psort
 
 import (
 	"math"
+	"sync"
 
 	"optipart/internal/comm"
 	"optipart/internal/sfc"
@@ -15,18 +26,123 @@ import (
 // cost model's byte accounting.
 const KeyBytes = 16
 
-// insertionCutoff is the bucket size below which TreeSort switches to
+// insertionCutoff is the bucket size below which the sorters switch to
 // insertion sort; tiny buckets are cheaper to finish with comparisons than
 // with another counting pass.
 const insertionCutoff = 24
 
+// keyRank pairs a key with its linearized curve rank. The radix sorter moves
+// these 32-byte records so ranks are computed once per key, never per
+// comparison.
+type keyRank struct {
+	key  sfc.Key
+	rank sfc.Rank128
+}
+
+// pairPool recycles the keyRank working and scratch arrays across TreeSort
+// calls. Partitioning campaigns sort on every rank of every trial; pooling
+// makes the steady-state allocation count zero instead of two large slices
+// per sort.
+var pairPool = sync.Pool{New: func() any { return new([]keyRank) }}
+
+func getPairs(n int) *[]keyRank {
+	p := pairPool.Get().(*[]keyRank)
+	if cap(*p) < n {
+		*p = make([]keyRank, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
 // TreeSort reorders keys in place into curve order (Algorithm 1). It is a
-// most-significant-digit radix sort: bucketing on the children of the
-// current tree node, with buckets permuted by the curve's Rh, is exactly a
-// top-down octree construction (Figure 1 of the paper). Elements that *are*
-// the current node (coarser regions) sort before all of the node's
-// descendants, preserving pre-order.
+// most-significant-digit radix sort over linearized curve ranks: bucketing
+// on rank bytes visits octree nodes in SFC order exactly as the tree-walking
+// formulation does (Figure 1 of the paper), because a rank's digit string
+// *is* the key's path along the curve. Elements that are the current node
+// (coarser regions) sort before all of the node's descendants, preserving
+// pre-order, because the rank's trailing level field breaks ties between a
+// node and its position-0 descendant chain.
 func TreeSort(curve *sfc.Curve, keys []sfc.Key) {
+	if len(keys) < 2 {
+		return
+	}
+	pairsP := getPairs(len(keys))
+	scratchP := getPairs(len(keys))
+	pairs, scratch := *pairsP, *scratchP
+	for i, k := range keys {
+		pairs[i] = keyRank{key: k, rank: curve.Rank(k)}
+	}
+	radixSortRanks(pairs, scratch, 0)
+	for i := range pairs {
+		keys[i] = pairs[i].key
+	}
+	pairPool.Put(pairsP)
+	pairPool.Put(scratchP)
+}
+
+// radixSortRanks sorts a by rank with an MSD byte-radix, using scratch
+// (same length as a) for the distribution pass, starting at rank digit d.
+func radixSortRanks(a, scratch []keyRank, d int) {
+	for {
+		if len(a) <= insertionCutoff {
+			insertionSortRanks(a)
+			return
+		}
+		if d >= sfc.RankDigits {
+			return // full ranks equal: keys equal, nothing to order
+		}
+		var counts [256]int
+		for i := range a {
+			counts[a[i].rank.Digit(d)]++
+		}
+		// A digit shared by every element (common ancestor prefix, level
+		// padding) needs no data movement: advance to the next digit.
+		if counts[a[0].rank.Digit(d)] == len(a) {
+			d++
+			continue
+		}
+		var offs [257]int
+		for b := 0; b < 256; b++ {
+			offs[b+1] = offs[b] + counts[b]
+		}
+		starts := offs
+		for i := range a {
+			b := a[i].rank.Digit(d)
+			scratch[starts[b]] = a[i]
+			starts[b]++
+		}
+		copy(a, scratch[:len(a)])
+		for b := 0; b < 256; b++ {
+			if lo, hi := offs[b], offs[b+1]; hi-lo > 1 {
+				radixSortRanks(a[lo:hi], scratch[lo:hi], d+1)
+			}
+		}
+		return
+	}
+}
+
+// insertionSortRanks finishes a small bucket with branch-predictable integer
+// comparisons on the precomputed ranks.
+func insertionSortRanks(a []keyRank) {
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && e.rank.Less(a[j].rank) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}
+
+// TreeSortComparator is the paper-literal tree-walking TreeSort: an MSD
+// radix sort whose buckets are the children of the current octree node,
+// permuted by the curve's Rh, with a comparator insertion sort below the
+// cutoff. It is retained as the reference implementation for the
+// rank-equivalence tests (TreeSort must produce bit-identical output) and as
+// executable documentation of Algorithm 1; the default TreeSort is the
+// rank-radix formulation.
+func TreeSortComparator(curve *sfc.Curve, keys []sfc.Key) {
 	if len(keys) < 2 {
 		return
 	}

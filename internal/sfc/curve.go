@@ -1,6 +1,9 @@
 package sfc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind selects the space-filling curve.
 type Kind int
@@ -50,13 +53,43 @@ type Curve struct {
 	childAt [][]uint8
 	posOf   [][]uint8
 	next    [][]uint8
+	// posNext fuses posOf and next into one flat lookup for the Rank hot
+	// loop: posNext[s<<3|label] = pos | nextState<<3, so each descent level
+	// costs a single L1 load instead of two slice-of-slice chases.
+	posNext []uint8
+}
+
+// curveCache memoizes the four (Kind, Dim) combinations. Curves are
+// immutable and safe for concurrent use, so every NewCurve(kind, dim) call
+// can return the same instance; rebuilding the Hilbert state tables per
+// construction site (every benchmark iteration, every experiment trial) was
+// pure waste.
+var curveCache struct {
+	mu sync.Mutex
+	by [2][4]*Curve // [kind][dim]
 }
 
 // NewCurve builds a curve of the given kind for dim dimensions (2 or 3).
+// Construction is memoized: repeated calls with the same kind and dim return
+// the same (immutable, concurrency-safe) *Curve.
 func NewCurve(kind Kind, dim int) *Curve {
 	if dim != 2 && dim != 3 {
 		panic(fmt.Sprintf("sfc: unsupported dimension %d", dim))
 	}
+	if kind == Morton || kind == Hilbert {
+		curveCache.mu.Lock()
+		defer curveCache.mu.Unlock()
+		if c := curveCache.by[kind][dim]; c != nil {
+			return c
+		}
+		c := buildCurve(kind, dim)
+		curveCache.by[kind][dim] = c
+		return c
+	}
+	return buildCurve(kind, dim)
+}
+
+func buildCurve(kind Kind, dim int) *Curve {
 	c := &Curve{Kind: kind, Dim: dim, nchild: 1 << dim}
 	if kind == Hilbert {
 		c.buildHilbertTables()
@@ -136,6 +169,19 @@ func (c *Curve) buildHilbertTables() {
 			c.childAt[p] = ca
 			c.posOf[p] = po
 			c.next[p] = nx
+		}
+	}
+	// Always 256 entries so Rank can convert to *[256]uint8 and mask the
+	// index, eliminating the bounds check in its inner loop (dim 2 uses only
+	// the low half).
+	c.posNext = make([]uint8, 256)
+	for p := 0; p < nstates; p++ {
+		if c.posOf[p] == nil {
+			continue
+		}
+		for label := 0; label < c.nchild; label++ {
+			pos := c.posOf[p][label]
+			c.posNext[p<<3|label] = pos | c.next[p][pos]<<3
 		}
 	}
 }

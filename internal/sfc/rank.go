@@ -1,0 +1,201 @@
+package sfc
+
+// This file linearizes the curve order into fixed-width integers. The
+// pre-order over octant keys that Compare walks one tree level at a time can
+// be materialized as a single number: the key's curve index padded with zero
+// digits down to MaxLevel, with the level appended as a tiebreak so an
+// ancestor (whose padded digits equal those of its position-0 descendant
+// chain) sorts before its descendants. The padded index needs Dim·MaxLevel
+// bits (90 in 3D) and the level 5 more, so a rank fits comfortably in 128
+// bits. Production SFC partitioners (Borrell et al.; Burstedde & Holke's
+// coarse-mesh partitioning) use exactly this trick: once keys carry totally
+// ordered integer ranks, every hot comparison in sorting, splitter location,
+// bucket counting, and ghost-owner lookup becomes a branchless two-word
+// integer compare instead of a virtual table-lookup walk.
+//
+// The defining invariant, enforced by TestRankMatchesCompare and
+// FuzzRankOrder: for every curve and every pair of valid keys,
+//
+//	Rank(a) < Rank(b)  ⇔  Less(a, b).
+//
+// Ranks order the *simulation's* data structures; they never enter the
+// machine model, so modeled costs are unchanged by their use.
+
+// rankLevelBits is the width of the level tiebreak field at the bottom of a
+// rank (MaxLevel = 30 < 2^5).
+const rankLevelBits = 5
+
+// Rank128 is a key's linearized position on a curve: a 128-bit unsigned
+// integer held as two words, ordered lexicographically (Hi, then Lo).
+type Rank128 struct {
+	Hi, Lo uint64
+}
+
+// MaxRank128 is the largest representable rank. No valid key maps to it
+// (key ranks use at most Dim·MaxLevel+5 = 95 bits), so it serves as the
+// "+infinity" sentinel for end-of-curve separators.
+var MaxRank128 = Rank128{Hi: ^uint64(0), Lo: ^uint64(0)}
+
+// Less reports whether r precedes o.
+func (r Rank128) Less(o Rank128) bool {
+	return r.Hi < o.Hi || (r.Hi == o.Hi && r.Lo < o.Lo)
+}
+
+// Compare returns -1, 0, or +1 ordering r against o.
+func (r Rank128) Compare(o Rank128) int {
+	switch {
+	case r.Hi < o.Hi:
+		return -1
+	case r.Hi > o.Hi:
+		return 1
+	case r.Lo < o.Lo:
+		return -1
+	case r.Lo > o.Lo:
+		return 1
+	}
+	return 0
+}
+
+// Digit returns the d-th byte of the rank counting from the most
+// significant useful byte (d = 0 is bits 95..88, d = 11 is bits 7..0). The
+// MSD radix sort in internal/psort buckets on these.
+func (r Rank128) Digit(d int) uint8 {
+	if d < 4 {
+		return uint8(r.Hi >> (24 - 8*d))
+	}
+	return uint8(r.Lo >> (56 - 8*(d-4)))
+}
+
+// RankDigits is the number of radix bytes in a rank (96 bits of payload).
+const RankDigits = 12
+
+// Rank returns the key's exact position on the curve as a totally ordered
+// integer: Rank(a) < Rank(b) iff Less(a, b), for every pair of valid keys of
+// this curve's dimension. Unlike Index it is defined for every level up to
+// MaxLevel. The padded digit string ends with the level as the pre-order
+// tiebreak: among keys whose padded digits coincide — necessarily an ancestor
+// chain — the coarser key comes first.
+//
+// Morton ranks are computed branchlessly by bit interleaving: a Morton
+// position digit is the child label itself, so the padded index is exactly
+// the interleave of the (masked) anchor coordinates. Hilbert ranks descend
+// the key's levels through the fused posNext state table, one L1 load per
+// level.
+func (c *Curve) Rank(k Key) Rank128 {
+	if c.Kind == Morton {
+		// Mask below-resolution anchor bits so non-canonical keys rank the
+		// same as under the level-bounded descent.
+		mask := ^lowMask(MaxLevel - int(k.Level))
+		if c.Dim == 3 {
+			mHi, mLo := morton3(k.X&mask, k.Y&mask, k.Z&mask)
+			return Rank128{
+				Hi: mHi<<rankLevelBits | mLo>>(64-rankLevelBits),
+				Lo: mLo<<rankLevelBits | uint64(k.Level),
+			}
+		}
+		m := part1by1(uint64(k.X&mask)) | part1by1(uint64(k.Y&mask))<<1
+		return Rank128{
+			Hi: m >> (64 - rankLevelBits),
+			Lo: m<<rankLevelBits | uint64(k.Level),
+		}
+	}
+	if c.Dim == 3 {
+		return c.hilbertRank3(k)
+	}
+	return c.hilbertRank2(k)
+}
+
+// hilbertRank3 walks the key's levels through the fused posNext table. The
+// first 21 levels (63 digit bits) accumulate in a single word; only deeper
+// keys pay for double-word shifts.
+func (c *Curve) hilbertRank3(k Key) Rank128 {
+	tbl := (*[256]uint8)(c.posNext)
+	level := int(k.Level)
+	n := level
+	if n > 21 {
+		n = 21
+	}
+	var w uint64
+	s := uint32(0)
+	for t := 1; t <= n; t++ {
+		shift := MaxLevel - t
+		label := (k.X>>shift)&1 | (k.Y>>shift)&1<<1 | (k.Z>>shift)&1<<2
+		e := tbl[(s<<3|label)&255]
+		w = w<<3 | uint64(e&7)
+		s = uint32(e >> 3)
+	}
+	hi, lo := uint64(0), w
+	for t := 22; t <= level; t++ {
+		shift := MaxLevel - t
+		label := (k.X>>shift)&1 | (k.Y>>shift)&1<<1 | (k.Z>>shift)&1<<2
+		e := tbl[(s<<3|label)&255]
+		hi = hi<<3 | lo>>61
+		lo = lo<<3 | uint64(e&7)
+		s = uint32(e >> 3)
+	}
+	pad := uint(3*(MaxLevel-level) + rankLevelBits)
+	if pad >= 64 {
+		hi = lo << (pad - 64)
+		lo = 0
+	} else {
+		hi = hi<<pad | lo>>(64-pad)
+		lo <<= pad
+	}
+	lo |= uint64(k.Level)
+	return Rank128{Hi: hi, Lo: lo}
+}
+
+// hilbertRank2 is the 2-D descent: at most 60 digit bits, so the whole index
+// accumulates in one word.
+func (c *Curve) hilbertRank2(k Key) Rank128 {
+	tbl := (*[256]uint8)(c.posNext)
+	var w uint64
+	s := uint32(0)
+	for t := 1; t <= int(k.Level); t++ {
+		shift := MaxLevel - t
+		label := (k.X>>shift)&1 | (k.Y>>shift)&1<<1
+		e := tbl[(s<<3|label)&255]
+		w = w<<2 | uint64(e&7)
+		s = uint32(e >> 3)
+	}
+	pad := uint(2*(MaxLevel-int(k.Level)) + rankLevelBits)
+	var hi, lo uint64
+	if pad >= 64 {
+		hi = w << (pad - 64) // only level 0 pads past 64, and then w == 0
+	} else {
+		hi = w >> (64 - pad)
+		lo = w << pad
+	}
+	lo |= uint64(k.Level)
+	return Rank128{Hi: hi, Lo: lo}
+}
+
+// morton3 interleaves three 30-bit coordinates into the 90-bit Morton word
+// (x in bit 0 of each triple) using the classic parallel-prefix spread.
+func morton3(x, y, z uint32) (hi, lo uint64) {
+	lw := part1by2(uint64(x)&0x7FFF) | part1by2(uint64(y)&0x7FFF)<<1 | part1by2(uint64(z)&0x7FFF)<<2
+	hw := part1by2(uint64(x)>>15) | part1by2(uint64(y)>>15)<<1 | part1by2(uint64(z)>>15)<<2
+	return hw >> 19, hw<<45 | lw
+}
+
+// part1by2 spreads the low 21 bits of v so bit i lands at bit 3i.
+func part1by2(v uint64) uint64 {
+	v &= 0x1FFFFF
+	v = (v | v<<32) & 0x1F00000000FFFF
+	v = (v | v<<16) & 0x1F0000FF0000FF
+	v = (v | v<<8) & 0x100F00F00F00F00F
+	v = (v | v<<4) & 0x10C30C30C30C30C3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// part1by1 spreads the low 32 bits of v so bit i lands at bit 2i.
+func part1by1(v uint64) uint64 {
+	v &= 0xFFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}

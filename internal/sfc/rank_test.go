@@ -1,0 +1,149 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomKeyAnyLevel draws a valid key of any level in [0, MaxLevel],
+// including levels too deep for Index (> 64/dim), which Rank must handle.
+func randomKeyAnyLevel(rng *rand.Rand, dim int) Key {
+	level := uint8(rng.Intn(MaxLevel + 1))
+	mask := ^lowMask(MaxLevel - int(level))
+	k := Key{
+		X:     rng.Uint32() & mask & (1<<MaxLevel - 1),
+		Y:     rng.Uint32() & mask & (1<<MaxLevel - 1),
+		Level: level,
+	}
+	if dim == 3 {
+		k.Z = rng.Uint32() & mask & (1<<MaxLevel - 1)
+	}
+	return k
+}
+
+// TestRankMatchesCompare is the defining invariant of linearized ranks:
+// integer order over Rank must agree exactly with the tree-walking Compare,
+// for both curves, both dimensions, and arbitrary (including maximally deep)
+// levels.
+func TestRankMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kind := range []Kind{Morton, Hilbert} {
+		for _, dim := range []int{2, 3} {
+			c := NewCurve(kind, dim)
+			for trial := 0; trial < 20000; trial++ {
+				a := randomKeyAnyLevel(rng, dim)
+				b := randomKeyAnyLevel(rng, dim)
+				if trial%7 == 0 {
+					b = a // exercise equality
+				}
+				if trial%11 == 0 && a.Level > 0 {
+					b = a.Ancestor(uint8(rng.Intn(int(a.Level) + 1))) // exercise ancestry
+				}
+				want := c.Compare(a, b)
+				got := c.Rank(a).Compare(c.Rank(b))
+				if got != want {
+					t.Fatalf("%v dim=%d: Rank order %d != Compare %d for %v vs %v (ranks %v %v)",
+						kind, dim, got, want, a, b, c.Rank(a), c.Rank(b))
+				}
+			}
+		}
+	}
+}
+
+// TestRankAgreesWithIndex checks that for levels shallow enough for Index,
+// the rank is exactly the index padded to MaxLevel digits with the level
+// appended — i.e. Rank is the natural 128-bit extension of Index.
+func TestRankAgreesWithIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []Kind{Morton, Hilbert} {
+		for _, dim := range []int{2, 3} {
+			c := NewCurve(kind, dim)
+			for trial := 0; trial < 5000; trial++ {
+				k := randomKeyAnyLevel(rng, dim)
+				if int(k.Level)*dim > 64 {
+					continue
+				}
+				idx := c.Index(k)
+				pad := uint(dim*(MaxLevel-int(k.Level)) + rankLevelBits)
+				var want Rank128
+				if pad >= 64 {
+					want = Rank128{Hi: idx << (pad - 64)}
+				} else {
+					want = Rank128{Hi: idx >> (64 - pad), Lo: idx << pad}
+				}
+				want.Lo |= uint64(k.Level)
+				if got := c.Rank(k); got != want {
+					t.Fatalf("%v dim=%d: Rank(%v) = %v, want %v (index %d)", kind, dim, k, got, want, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestRankSentinel checks that no valid key reaches the +infinity rank.
+func TestRankSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, kind := range []Kind{Morton, Hilbert} {
+		c := NewCurve(kind, 3)
+		deepest := Key{X: 1<<MaxLevel - 1, Y: 1<<MaxLevel - 1, Z: 1<<MaxLevel - 1, Level: MaxLevel}
+		if !c.Rank(deepest).Less(MaxRank128) {
+			t.Fatalf("%v: deepest key rank %v not below MaxRank128", kind, c.Rank(deepest))
+		}
+		for i := 0; i < 1000; i++ {
+			if k := randomKeyAnyLevel(rng, 3); !c.Rank(k).Less(MaxRank128) {
+				t.Fatalf("%v: key %v rank reaches sentinel", kind, k)
+			}
+		}
+	}
+}
+
+// TestNewCurveMemoized checks that curve construction is cached per
+// (Kind, Dim) and that cached instances still behave.
+func TestNewCurveMemoized(t *testing.T) {
+	for _, kind := range []Kind{Morton, Hilbert} {
+		for _, dim := range []int{2, 3} {
+			a := NewCurve(kind, dim)
+			b := NewCurve(kind, dim)
+			if a != b {
+				t.Fatalf("NewCurve(%v, %d) not memoized", kind, dim)
+			}
+			if a.NumChildren() != 1<<dim {
+				t.Fatalf("cached curve broken: NumChildren = %d", a.NumChildren())
+			}
+		}
+	}
+	if NewCurve(Morton, 2) == NewCurve(Morton, 3) {
+		t.Fatal("distinct dims share a cache slot")
+	}
+	if NewCurve(Morton, 3) == NewCurve(Hilbert, 3) {
+		t.Fatal("distinct kinds share a cache slot")
+	}
+}
+
+// FuzzRankOrder fuzzes the order invariant over raw key material.
+func FuzzRankOrder(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint8(0), uint32(1), uint32(2), uint32(3), uint8(5), false)
+	f.Add(uint32(1<<29), uint32(1<<28), uint32(1<<27), uint8(30), uint32(0), uint32(0), uint32(0), uint8(30), true)
+	f.Fuzz(func(t *testing.T, ax, ay, az uint32, al uint8, bx, by, bz uint32, bl uint8, hilbert bool) {
+		kind := Morton
+		if hilbert {
+			kind = Hilbert
+		}
+		c := NewCurve(kind, 3)
+		a := clampKey(ax, ay, az, al)
+		b := clampKey(bx, by, bz, bl)
+		want := c.Compare(a, b)
+		if got := c.Rank(a).Compare(c.Rank(b)); got != want {
+			t.Fatalf("Rank order %d != Compare %d for %v vs %v", got, want, a, b)
+		}
+	})
+}
+
+// clampKey forces arbitrary fuzz material into a valid key.
+func clampKey(x, y, z uint32, level uint8) Key {
+	if level > MaxLevel {
+		level = level % (MaxLevel + 1)
+	}
+	mask := ^lowMask(MaxLevel-int(level)) & (1<<MaxLevel - 1)
+	return Key{X: x & mask, Y: y & mask, Z: z & mask, Level: level}
+}

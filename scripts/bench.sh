@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench.sh — the benchmark-regression harness. Runs the simulator's hot-path
+# benchmarks (sorting, partitioning, ghost construction, transport) with
+# -benchmem, then formats them into BENCH_3.json next to this PR's recorded
+# pre-optimization baseline (scripts/bench_baseline_3.txt) so every entry
+# carries its speedup and allocation ratio.
+#
+#   ./scripts/bench.sh              # full run, writes BENCH_3.json
+#   ./scripts/bench.sh out.json     # write elsewhere
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_3.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> root package benchmarks"
+go test -run '^$' -bench 'TreeSort|Index|Partition|SampleSortBaseline|GhostBuild' \
+    -benchmem . | tee "$tmp/root.txt"
+
+echo "==> comm transport benchmarks"
+go test -run '^$' -bench 'Transport' -benchmem ./internal/comm | tee "$tmp/comm.txt"
+
+echo "==> formatting $out"
+go run ./cmd/benchfmt -baseline scripts/bench_baseline_3.txt -out "$out" \
+    "$tmp/root.txt" "$tmp/comm.txt"
+go run ./cmd/benchfmt -check "$out"

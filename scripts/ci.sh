@@ -28,7 +28,11 @@ go build ./...
 echo "==> go test -race -shuffle=on $* ./..."
 go test -race -shuffle=on "$@" ./...
 
-echo "==> transport benchmark smoke"
-go test -run '^$' -bench BenchmarkTransport -benchtime 1x ./internal/comm
+echo "==> hot-path benchmark smoke"
+go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
+go test -run '^$' -bench 'Transport' -benchtime 1x ./internal/comm
+
+echo "==> BENCH_3.json parses"
+go run ./cmd/benchfmt -check BENCH_3.json
 
 echo "CI OK"
