@@ -213,6 +213,7 @@ func (w *World) watchdog(stall time.Duration, stop <-chan struct{}) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	lastGen, lastSeq, lastDone := w.progress()
+	//lint:ignore nondeterminism the stall watchdog measures real wall-clock silence by design; it only decides failure detection and never feeds modeled costs
 	lastChange := time.Now()
 	for {
 		select {
@@ -227,9 +228,11 @@ func (w *World) watchdog(stall time.Duration, stop <-chan struct{}) {
 			}
 			if gen != lastGen || seq != lastSeq || done != lastDone {
 				lastGen, lastSeq, lastDone = gen, seq, done
+				//lint:ignore nondeterminism watchdog progress timestamps are wall-clock by design and never feed modeled costs
 				lastChange = time.Now()
 				continue
 			}
+			//lint:ignore nondeterminism the stall threshold compares real elapsed time; it gates failure detection only
 			if time.Since(lastChange) >= stall {
 				w.fail(&StallError{Stall: stall, Stuck: w.stuckRanks()})
 				return

@@ -181,5 +181,8 @@ func (e *UsageError) Error() string { return fmt.Sprintf("comm: %s: %s", e.Op, e
 
 // worldAbort is the sentinel panic used to unwind survivor ranks out of a
 // poisoned world. It is never reported: the primary failure was already
-// recorded by whoever poisoned the barrier.
+// recorded by whoever poisoned the barrier. It still implements error so
+// every panic the runtime throws carries a typed, printable value.
 type worldAbort struct{}
+
+func (worldAbort) Error() string { return "comm: world aborted after a prior failure" }

@@ -1,5 +1,7 @@
 package comm
 
+import "slices"
+
 // Stats is the accounting of one SPMD run: modeled times per rank and phase,
 // and actual communication volumes. All values are deterministic functions
 // of the algorithm and its inputs.
@@ -55,7 +57,8 @@ func (s *Stats) Phase(name string) float64 {
 	return t
 }
 
-// Phases returns the set of phase names seen on any rank.
+// Phases returns the set of phase names seen on any rank, sorted so the
+// result is independent of map iteration order.
 func (s *Stats) Phases() []string {
 	seen := map[string]bool{}
 	var names []string
@@ -67,6 +70,7 @@ func (s *Stats) Phases() []string {
 			}
 		}
 	}
+	slices.Sort(names)
 	return names
 }
 

@@ -9,7 +9,7 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Config controls an experiment run.
@@ -39,7 +39,7 @@ func Names() []string {
 	for name := range registry {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -15,6 +15,7 @@
 package fem
 
 import (
+	"errors"
 	"math"
 
 	"optipart/internal/comm"
@@ -108,7 +109,7 @@ func SetupKernel(c *comm.Comm, local []sfc.Key, sp *partition.Splitters, stageWi
 				if !known {
 					// A ghost the push protocol did not deliver would be a
 					// balance violation; fail loudly.
-					panic("fem: neighbor leaf missing from halo — mesh not 2:1 balanced?")
+					panic(errors.New("fem: neighbor leaf missing from halo — mesh not 2:1 balanced?"))
 				}
 				p.adj[i] = append(p.adj[i], entry{Idx: idx, W: w})
 				p.diag[i] += w

@@ -1,0 +1,136 @@
+package lint
+
+// costaccounting keeps the machine model honest: the paper's
+// Tp = α·tc·Wmax + tw·Cmax only predicts anything if every byte that moves
+// between ranks is charged to comm.Stats. internal/comm is the sole
+// package allowed to move bytes (its collectives and transport do the
+// charging); everywhere else in library code, three things smell of
+// uncharged traffic —
+//
+//   - raw channel construction, sends, and receives (goroutine-to-goroutine
+//     byte movement invisible to the model),
+//   - copies or stores into another rank's slot: an index computed as an
+//     additive/modular offset of the rank id (Rank()+1, (Rank()+k)%Size())
+//     addresses a peer's region, which is exactly the byte movement a
+//     collective exists to meter. Multiplicative scaling (Rank()*stride)
+//     addresses the rank's own block of a shared buffer and is fine.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var CostAccounting = &Analyzer{
+	Name: "costaccounting",
+	Doc:  "byte movement outside internal/comm bypasses Stats and the machine model",
+	Run:  runCostAccounting,
+}
+
+func runCostAccounting(p *Pass) {
+	if !isLibraryPkg(p.Path) || isCommPkg(p.Path) || isLintPkg(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, fd := range funcBodies(f) {
+			taint := rankTaint(p.Info, fd)
+			ast.Inspect(fd, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SendStmt:
+					p.Report(x.Pos(), "channel send outside internal/comm: bytes move between goroutines without being charged to Stats — route the exchange through a collective")
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW {
+						p.Report(x.Pos(), "channel receive outside internal/comm: bytes arrive without being charged to Stats — route the exchange through a collective")
+					}
+				case *ast.CallExpr:
+					checkCostCall(p, taint, x)
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						if idx, ok := rankOffsetIndex(p, taint, lhs); ok {
+							p.Report(idx.Pos(), "store into another rank's slot (rank-offset index): cross-rank byte movement must go through a collective so Stats charges it")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkCostCall(p *Pass, taint map[types.Object]bool, call *ast.CallExpr) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make":
+		if len(call.Args) > 0 {
+			if tv, ok := p.Info.Types[call.Args[0]]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					p.Report(call.Pos(), "make(chan) outside internal/comm: channels move bytes the machine model never sees — use the comm collectives")
+				}
+			}
+		}
+	case "copy":
+		if len(call.Args) > 0 {
+			if idx, ok := rankOffsetIndex(p, taint, call.Args[0]); ok {
+				p.Report(idx.Pos(), "copy into another rank's slot (rank-offset index): cross-rank byte movement must go through a collective so Stats charges it")
+			}
+		}
+	}
+}
+
+// rankOffsetIndex reports whether e indexes (or slices) a buffer at an
+// additive/modular offset of the rank id — the signature of addressing a
+// peer's region. Returns the offending index expression.
+func rankOffsetIndex(p *Pass, taint map[types.Object]bool, e ast.Expr) (ast.Expr, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.IndexExpr:
+		if additiveRankOffset(p.Info, taint, x.Index) {
+			return x.Index, true
+		}
+	case *ast.SliceExpr:
+		for _, bound := range []ast.Expr{x.Low, x.High} {
+			if bound != nil && additiveRankOffset(p.Info, taint, bound) {
+				return bound, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// additiveRankOffset reports whether idx contains a +, -, or % expression
+// with a rank-tainted operand: Rank()+1 and (Rank()+k)%Size() are peer
+// addresses, while a bare Rank() or Rank()*stride stays within the rank's
+// own region.
+func additiveRankOffset(info *types.Info, taint map[types.Object]bool, idx ast.Expr) bool {
+	found := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			switch be.Op {
+			case token.ADD, token.SUB, token.REM:
+				if exprTainted(info, taint, be.X) || exprTainted(info, taint, be.Y) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+// taint.go computes which local variables are data-flow-tainted by the rank
+// id inside one function. Taint seeds at calls to a zero-argument method
+// named Rank (comm.Comm's identity accessor and any fixture stand-in) and
+// propagates through assignments to a fixpoint. The analysis is
+// intraprocedural and intentionally conservative in one direction only:
+// branching on a tainted value is fine per se — the hazard analyzers decide
+// what may happen under such a branch.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rankTaint returns the set of objects (locals) whose values derive from
+// the rank id within fn (a *ast.FuncDecl body or *ast.FuncLit body).
+func rankTaint(info *types.Info, fn ast.Node) map[types.Object]bool {
+	taint := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				// x := expr / x = expr / x, y := expr, expr. With a
+				// mismatched count (multi-value call) taint every LHS if the
+				// RHS is tainted — coarse but safe.
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj == nil || taint[obj] {
+						continue
+					}
+					var rhs ast.Expr
+					if len(s.Rhs) == len(s.Lhs) {
+						rhs = s.Rhs[i]
+					} else {
+						rhs = s.Rhs[0]
+					}
+					// Compound assigns (x += expr) keep x's prior value in
+					// the dataflow, but x is only newly tainted via rhs.
+					if exprTainted(info, taint, rhs) {
+						taint[obj] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range s.Names {
+					obj := info.Defs[id]
+					if obj == nil || taint[obj] {
+						continue
+					}
+					var rhs ast.Expr
+					if i < len(s.Values) {
+						rhs = s.Values[i]
+					} else if len(s.Values) == 1 {
+						rhs = s.Values[0]
+					}
+					if rhs != nil && exprTainted(info, taint, rhs) {
+						taint[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// exprTainted reports whether e mentions a tainted object or a direct
+// rank-id call.
+func exprTainted(info *types.Info, taint map[types.Object]bool, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && taint[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isRankCall(info, x) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRankCall matches a zero-argument method call named Rank — the SPMD
+// identity accessor.
+func isRankCall(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rank" {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Type().(*types.Signature).Recv() != nil
+}
+
+// calleeFunc resolves the *types.Func a call invokes, unwrapping generic
+// instantiation syntax; nil for builtins, conversions, and function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr:
+			fun = f.X
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — each as an independent analysis scope. Literals nested inside
+// a declaration are visited both within the declaration's walk (by
+// analyzers that want lexical context) and as scopes of their own.
+func funcBodies(f *ast.File) []*ast.FuncDecl {
+	var decls []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			decls = append(decls, fd)
+		}
+	}
+	return decls
+}

@@ -1,0 +1,22 @@
+// Package costbad moves bytes the machine model never sees: every marked
+// line must be reported by the costaccounting analyzer.
+package costbad
+
+import "optipart/internal/comm"
+
+// leakChannel shuttles a value through a raw channel.
+func leakChannel(xs []float64) float64 {
+	ch := make(chan float64, 1) // want "make\(chan\) outside internal/comm"
+	ch <- xs[0]                 // want "channel send outside internal/comm"
+	return <-ch                 // want "channel receive outside internal/comm"
+}
+
+// pokeNeighbor stores into the next rank's slot.
+func pokeNeighbor(c *comm.Comm, buf []float64) {
+	buf[(c.Rank()+1)%c.Size()] = 1 // want "store into another rank's slot"
+}
+
+// copyToPeer block-copies into a peer's region.
+func copyToPeer(c *comm.Comm, dst, src []float64) {
+	copy(dst[c.Rank()+1:], src) // want "copy into another rank's slot"
+}

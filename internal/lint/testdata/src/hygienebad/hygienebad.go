@@ -1,0 +1,36 @@
+// Package hygienebad regresses the deliberate API decisions apihygiene
+// pins: every marked line must be reported.
+package hygienebad
+
+import (
+	"sort"
+
+	"optipart/internal/sfc"
+)
+
+// sortReflect uses the retired reflection-based sort entry points.
+func sortReflect(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sort\.Slice is reflection/interface-based"
+	sort.Ints(xs)                                                // want "sort\.Ints is reflection/interface-based"
+}
+
+// searchReflect uses the interface-based binary search.
+func searchReflect(n int, f func(int) bool) int {
+	return sort.Search(n, f) // want "sort\.Search is reflection/interface-based"
+}
+
+// curvesInLoop constructs curves per iteration instead of hoisting.
+func curvesInLoop(kinds []sfc.Kind) []*sfc.Curve {
+	var out []*sfc.Curve
+	for _, k := range kinds {
+		out = append(out, sfc.NewCurve(k, 3)) // want "NewCurve inside a loop"
+	}
+	return out
+}
+
+// badPanic throws a bare string in library code.
+func badPanic(n int) {
+	if n < 0 {
+		panic("hygienebad: negative count") // want "panic with a non-error string"
+	}
+}

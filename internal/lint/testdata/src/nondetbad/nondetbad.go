@@ -1,0 +1,58 @@
+// Package nondetbad concentrates transcript-breaking constructs: every
+// marked line must be reported by the nondeterminism analyzer.
+package nondetbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock in library code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// draw uses the process-global generator.
+func draw() float64 {
+	return rand.Float64() // want "process-global generator"
+}
+
+// sumFloats accumulates floats in map order.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation in range over map"
+	}
+	return total
+}
+
+// collectKeys never sorts what it collected.
+func collectKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append in range over map"
+	}
+	return out
+}
+
+// joinKeys concatenates strings in map order.
+func joinKeys(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string concatenation in range over map"
+	}
+	return s
+}
+
+// printKeys emits directly from the iteration.
+func printKeys(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "inside range over map emits in random key order"
+	}
+}
+
+// spawn leaks a goroutine outside the runtime.
+func spawn(done func()) {
+	go done() // want "goroutine outside the comm runtime"
+}

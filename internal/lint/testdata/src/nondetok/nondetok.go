@@ -1,0 +1,55 @@
+// Package nondetok exercises the blessed deterministic idioms: the
+// nondeterminism analyzer must stay silent on every function here.
+package nondetok
+
+import (
+	"math/rand"
+	"slices"
+)
+
+// seeded draws from an explicitly seeded generator.
+func seeded() float64 {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Float64()
+}
+
+// countInts accumulates integers: commutative and exact in any key order.
+func countInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys collects then sorts: the canonical deterministic idiom.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// rekey writes elements keyed by the map key: order-independent.
+func rekey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// scratch accumulates into loop-local state that dies with the iteration.
+func scratch(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package suppress exercises the //lint:ignore audit trail: two well-formed
+// directives silence their findings (and show up in -listignores), a
+// reason-less directive becomes a lintdirective finding and leaves its
+// target diagnostic alive, and an unknown rule id is rejected.
+package suppress
+
+import "time"
+
+// startStamp is operator-facing wall-clock, suppressed with a reason.
+func startStamp() time.Time {
+	//lint:ignore nondeterminism operator-facing timestamp, never enters a transcript
+	return time.Now()
+}
+
+// traceStamp uses the trailing-comment form.
+func traceStamp() time.Time {
+	return time.Now() //lint:ignore nondeterminism display-only timestamp, never modeled
+}
+
+// unexplained forgets the reason: the directive itself becomes a finding
+// and the violation it meant to silence survives.
+func unexplained() time.Time {
+	//lint:ignore nondeterminism
+	return time.Now()
+}
+
+// unknownRule names a rule that does not exist.
+func unknownRule() int {
+	//lint:ignore nosuchrule the rule id is misspelled
+	return 0
+}

@@ -6,7 +6,7 @@
 package mesh
 
 import (
-	"sort"
+	"slices"
 
 	"optipart/internal/comm"
 	"optipart/internal/octree"
@@ -74,7 +74,7 @@ func Build(c *comm.Comm, local []sfc.Key, sp *partition.Splitters, stageWidth in
 		for i := range sendSet[dst] {
 			ids = append(ids, i)
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		g.SendIDs[dst] = ids
 		keys := make([]sfc.Key, len(ids))
 		for j, i := range ids {

@@ -1,6 +1,10 @@
 package octree
 
-import "optipart/internal/sfc"
+import (
+	"errors"
+
+	"optipart/internal/sfc"
+)
 
 // Face identifies one of the 2*dim axis-aligned faces of a cell: axis 0..2
 // and a direction (false = toward smaller coordinates).
@@ -142,7 +146,7 @@ func SurfaceArea(curve *sfc.Curve, cells []sfc.Key, maxDepth uint8) uint64 {
 // cell k. k.Level must not exceed maxDepth.
 func unitFaces(k sfc.Key, maxDepth uint8, dim int) uint64 {
 	if k.Level > maxDepth {
-		panic("octree: cell finer than the surface measurement resolution")
+		panic(errors.New("octree: cell finer than the surface measurement resolution"))
 	}
 	units := uint64(1)
 	for d := 0; d < dim-1; d++ {

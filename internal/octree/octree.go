@@ -11,7 +11,7 @@ package octree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"optipart/internal/sfc"
 )
@@ -36,12 +36,12 @@ func (t *Tree) Dim() int { return t.Curve.Dim }
 
 // Sort sorts keys in place along the curve.
 func Sort(curve *sfc.Curve, keys []sfc.Key) {
-	sort.Slice(keys, func(i, j int) bool { return curve.Less(keys[i], keys[j]) })
+	slices.SortFunc(keys, curve.Compare)
 }
 
 // IsSorted reports whether keys are sorted along the curve.
 func IsSorted(curve *sfc.Curve, keys []sfc.Key) bool {
-	return sort.SliceIsSorted(keys, func(i, j int) bool { return curve.Less(keys[i], keys[j]) })
+	return slices.IsSortedFunc(keys, curve.Compare)
 }
 
 // Linearize sorts keys along the curve and removes duplicates and ancestors
@@ -138,7 +138,7 @@ func completeNode(curve *sfc.Curve, node sfc.Key, state sfc.State, seeds []sfc.K
 		lo = hi
 	}
 	if lo != len(seeds) {
-		panic(fmt.Sprintf("octree: %d seeds not contained in children of %v", len(seeds)-lo, node))
+		panic(fmt.Errorf("octree: %d seeds not contained in children of %v", len(seeds)-lo, node))
 	}
 }
 
@@ -178,8 +178,13 @@ func Coarsen(curve *sfc.Curve, keys []sfc.Key) []sfc.Key {
 func (t *Tree) FindLeaf(q sfc.Key) int {
 	// The containing leaf is the last leaf that does not come after q in
 	// pre-order: leaves are disjoint, and an ancestor precedes descendants.
-	i := sort.Search(len(t.Leaves), func(i int) bool {
-		return t.Curve.Compare(t.Leaves[i], q) > 0
+	// The comparator collapses to -1/+1 so the binary search lands on the
+	// first leaf strictly after q.
+	i, _ := slices.BinarySearchFunc(t.Leaves, q, func(leaf, q sfc.Key) int {
+		if t.Curve.Compare(leaf, q) > 0 {
+			return 1
+		}
+		return -1
 	})
 	// Candidate is i-1 (the last leaf <= q).
 	if i == 0 {

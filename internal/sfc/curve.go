@@ -74,7 +74,7 @@ var curveCache struct {
 // the same (immutable, concurrency-safe) *Curve.
 func NewCurve(kind Kind, dim int) *Curve {
 	if dim != 2 && dim != 3 {
-		panic(fmt.Sprintf("sfc: unsupported dimension %d", dim))
+		panic(fmt.Errorf("sfc: unsupported dimension %d", dim))
 	}
 	if kind == Morton || kind == Hilbert {
 		curveCache.mu.Lock()

@@ -13,7 +13,7 @@ import "fmt"
 // the index — use Compare, which walks the tree without materializing it.
 func (c *Curve) Index(k Key) uint64 {
 	if int(k.Level)*c.Dim > 64 {
-		panic(fmt.Sprintf("sfc: Index of level-%d key needs %d bits; use Compare instead",
+		panic(fmt.Errorf("sfc: Index of level-%d key needs %d bits; use Compare instead",
 			k.Level, int(k.Level)*c.Dim))
 	}
 	var idx uint64

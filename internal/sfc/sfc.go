@@ -15,7 +15,10 @@
 // the orientation state for each child subtree.
 package sfc
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // MaxLevel is Dmax, the maximum refinement depth. Anchors are integers in
 // [0, 2^MaxLevel), matching the paper's trees of depth 30.
@@ -68,7 +71,7 @@ func (k Key) ChildLabel(t int) int {
 // Child returns the child of k with the given label (x | y<<1 | z<<2).
 func (k Key) Child(label int) Key {
 	if k.Level >= MaxLevel {
-		panic("sfc: Child of a maximum-level key")
+		panic(errors.New("sfc: Child of a maximum-level key"))
 	}
 	shift := MaxLevel - int(k.Level) - 1
 	return Key{
@@ -93,7 +96,7 @@ func (k Key) Parent() Key {
 // Ancestor returns the key's ancestor at the given level (level <= k.Level).
 func (k Key) Ancestor(level uint8) Key {
 	if level > k.Level {
-		panic(fmt.Sprintf("sfc: Ancestor level %d below key level %d", level, k.Level))
+		panic(fmt.Errorf("sfc: Ancestor level %d below key level %d", level, k.Level))
 	}
 	mask := ^lowMask(MaxLevel - int(level))
 	return Key{X: k.X & mask, Y: k.Y & mask, Z: k.Z & mask, Level: level}

@@ -25,8 +25,21 @@ fi
 echo "==> go build ./..."
 go build ./...
 
+echo "==> optipartlint ./..."
+go run ./cmd/optipartlint ./...
+
+echo "==> optipartlint -json report parses"
+lintreport=$(mktemp)
+trap 'rm -f "$lintreport"' EXIT
+go run ./cmd/optipartlint -json ./... >"$lintreport"
+go run ./cmd/optipartlint -check "$lintreport"
+go run ./cmd/optipartlint -listignores ./... >/dev/null
+
 echo "==> go test -race -shuffle=on $* ./..."
 go test -race -shuffle=on "$@" ./...
+
+echo "==> comm/psort dedicated race pass"
+go test -race -shuffle=on -count=1 ./internal/comm ./internal/psort
 
 echo "==> hot-path benchmark smoke"
 go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
