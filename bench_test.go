@@ -6,8 +6,13 @@ package optipart_test
 // paths and the ablation benches called out in DESIGN.md.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"optipart"
@@ -203,6 +208,94 @@ func BenchmarkGhostBuild(b *testing.B) {
 				Curve: curve, Mode: partition.EqualWork, Machine: m,
 			})
 			mesh.Build(c, res.Local, res.Splitters, 1)
+		})
+	}
+}
+
+// --- Worker-pool benches (serial vs parallel kernels) ----------------------
+
+// benchWorkerCounts is the width matrix for the serial-vs-parallel benches:
+// always 1 (the serial baseline — the exact pre-pool code path), plus 4 (the
+// speedup gate width) and the host's GOMAXPROCS when they differ.
+// OPTIPART_BENCH_WORKERS overrides the matrix with an explicit
+// comma-separated list; that is how scripts/bench_baseline_5.txt pins its
+// capture configuration.
+func benchWorkerCounts(b *testing.B) []int {
+	b.Helper()
+	if s := os.Getenv("OPTIPART_BENCH_WORKERS"); s != "" {
+		var ws []int
+		for _, f := range strings.Split(s, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 1 {
+				b.Fatalf("OPTIPART_BENCH_WORKERS=%q: want comma-separated widths >= 1", s)
+			}
+			ws = append(ws, w)
+		}
+		return ws
+	}
+	ws := []int{1}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		seen := false
+		for _, have := range ws {
+			seen = seen || have == w
+		}
+		if !seen {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// BenchmarkTreeSortLarge sorts 2^20 keys — far past the parallel cutoff, so
+// the workers>1 widths exercise the parallel MSD radix sort while workers=1
+// runs the serial rank sort the goldens were recorded against.
+func BenchmarkTreeSortLarge(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	keys := benchKeys(1 << 20)
+	work := make([]sfc.Key, len(keys))
+	for _, w := range benchWorkerCounts(b) {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := optipart.SetWorkers(w)
+			defer optipart.SetWorkers(prev)
+			// One untimed op after the width switch: lets the GC pacer adapt
+			// to this width's allocation profile before measurement starts.
+			copy(work, keys)
+			psort.TreeSort(curve, work)
+			b.SetBytes(int64(len(keys) * psort.KeyBytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, keys)
+				psort.TreeSort(curve, work)
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionE2E is the end-to-end partition at a per-rank size past
+// the parallel cutoffs, so sort, splitter refinement, and bucketing all take
+// their pooled paths at workers>1. Modeled costs are identical at every
+// width (TestModeledCostEquivalence); only host wall-clock may differ.
+func BenchmarkPartitionE2E(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	m := machine.Clemson32()
+	for _, w := range benchWorkerCounts(b) {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := optipart.SetWorkers(w)
+			defer optipart.SetWorkers(prev)
+			run := func() {
+				comm.Run(16, m.CostModel(), func(c *comm.Comm) {
+					rng := rand.New(rand.NewSource(int64(c.Rank())))
+					local := octree.RandomKeys(rng, 1<<15, 3, octree.Normal, 2, 18)
+					partition.Partition(c, local, partition.Options{
+						Curve: curve, Mode: partition.EqualWork, Tol: 0.3, Machine: m,
+					})
+				})
+			}
+			run() // untimed warm-up after the width switch (GC pacer, pools)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
 		})
 	}
 }

@@ -54,6 +54,7 @@ func main() {
 	out := flag.String("out", "", "output JSON path")
 	baseline := flag.String("baseline", "", "raw baseline bench output to pair against")
 	check := flag.String("check", "", "validate an existing BENCH JSON instead of writing one")
+	note := flag.String("note", "", "override the note field of the written record (capture conditions, host caveats)")
 	flag.Parse()
 
 	if *check != "" {
@@ -94,6 +95,9 @@ func main() {
 		}
 	}
 	f := File{Note: "ns/op and allocs/op per benchmark; baseline is the pre-optimization capture from scripts/bench_baseline_*.txt"}
+	if *note != "" {
+		f.Note = *note
+	}
 	for _, r := range cur {
 		e := Entry{Result: r}
 		if b, ok := base[r.Pkg+"."+r.Name]; ok {

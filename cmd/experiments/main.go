@@ -14,18 +14,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"optipart"
 	"optipart/internal/experiments"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment to run (figN, headline, or all)")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "use small problem sizes (smoke test)")
-		seed  = flag.Int64("seed", 0, "RNG seed (0 = default)")
+		run     = flag.String("run", "", "experiment to run (figN, headline, or all)")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "use small problem sizes (smoke test)")
+		seed    = flag.Int64("seed", 0, "RNG seed (0 = default)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width shared by all ranks (1 forces the serial paths; transcripts are identical at every width)")
 	)
 	flag.Parse()
+
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "error: -workers %d: need at least one worker\n", *workers)
+		os.Exit(1)
+	}
+	optipart.SetWorkers(*workers)
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -50,8 +51,14 @@ func main() {
 		loss     = flag.Float64("loss", 0, "per-frame drop rate in [0,1] on every link (uses the reliable transport)")
 		corrupt  = flag.Float64("corrupt", 0, "per-frame corruption rate in [0,1] on every link (uses the reliable transport)")
 		retry    = flag.Int("retry", 0, "retransmit cap per message before the link is declared dead (0 = default)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width shared by all ranks (1 forces the serial paths; results are identical at every width)")
 	)
 	flag.Parse()
+
+	if err := validateWorkers(*workers); err != nil {
+		fatal(err)
+	}
+	optipart.SetWorkers(*workers)
 
 	m, err := machineByName(*machine)
 	if err != nil {
@@ -226,6 +233,22 @@ func buildPlan(p int, kill, strag string, loss, corrupt float64, retry int, seed
 		return nil, fmt.Errorf("-retry %d: needs -loss or -corrupt to matter", retry)
 	}
 	return plan, nil
+}
+
+// maxWorkers is a sanity bound on -workers: the pool pins one OS thread per
+// worker, so anything past a few times the host's GOMAXPROCS is a typo.
+const maxWorkers = 1024
+
+// validateWorkers range-checks the -workers flag the way buildPlan checks
+// the fault flags: fail with a usable message before any goroutines start.
+func validateWorkers(w int) error {
+	if w < 1 {
+		return fmt.Errorf("-workers %d: need at least one worker", w)
+	}
+	if w > maxWorkers {
+		return fmt.Errorf("-workers %d: more than %d workers oversubscribes any host this simulator targets", w, maxWorkers)
+	}
+	return nil
 }
 
 func splitRankAt(s string) (rank int, rest string, err error) {

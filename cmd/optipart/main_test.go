@@ -80,3 +80,28 @@ func TestBuildPlanRejects(t *testing.T) {
 		t.Errorf("p=0 accepted")
 	}
 }
+
+// TestValidateWorkers covers the -workers satellite: the flag is
+// range-checked in the buildPlan style, failing with a usable message
+// before any goroutines start.
+func TestValidateWorkers(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64, maxWorkers} {
+		if err := validateWorkers(w); err != nil {
+			t.Errorf("validateWorkers(%d) = %v, want nil", w, err)
+		}
+	}
+	cases := []struct {
+		w    int
+		frag string
+	}{
+		{0, "need at least one worker"},
+		{-3, "need at least one worker"},
+		{maxWorkers + 1, "oversubscribes"},
+	}
+	for _, tc := range cases {
+		err := validateWorkers(tc.w)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("validateWorkers(%d) = %v, want error containing %q", tc.w, err, tc.frag)
+		}
+	}
+}

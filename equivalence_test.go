@@ -1,8 +1,10 @@
 package optipart_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"optipart"
@@ -16,10 +18,12 @@ import (
 // — under a lossy network so the retransmission accounting is exercised too.
 //
 // The constants below were captured at the pre-rewrite commit with this
-// exact scenario. They must never drift from a performance change: ranks
-// and pooled buffers reorganize how the simulator computes, not what the
-// modeled machine is charged. The virtual time is compared by exact bit
-// pattern, not with a tolerance.
+// exact scenario. They must never drift from a performance change: ranks,
+// pooled buffers, and the worker pool reorganize how the simulator computes,
+// not what the modeled machine is charged. The virtual time is compared by
+// exact bit pattern, not with a tolerance, and the whole scenario runs at
+// every worker count of the ISSUE's matrix — parallelism must change host
+// wall-clock only.
 func TestModeledCostEquivalence(t *testing.T) {
 	const (
 		wantBytes      = 469216
@@ -30,38 +34,45 @@ func TestModeledCostEquivalence(t *testing.T) {
 		wantTimeBits   = 0x3f806c9ec0656859
 	)
 
-	curve := optipart.NewCurve(optipart.Hilbert, 3)
-	m := optipart.Clemson32()
-	plan := &optipart.FaultPlan{Net: optipart.UniformLoss(7, 0.02, 0.01)}
-	stats, err := optipart.RunWithFaults(8, m, plan, func(c *optipart.Comm) error {
-		rng := rand.New(rand.NewSource(int64(c.Rank()) + 100))
-		local := optipart.RandomKeys(rng, 2000, 3, optipart.Normal, 2, 12)
-		res := optipart.Partition(c, local, optipart.Options{
-			Curve: curve, Mode: optipart.ModelDriven, Machine: m,
+	for _, w := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			prev := optipart.SetWorkers(w)
+			defer optipart.SetWorkers(prev)
+
+			curve := optipart.NewCurve(optipart.Hilbert, 3)
+			m := optipart.Clemson32()
+			plan := &optipart.FaultPlan{Net: optipart.UniformLoss(7, 0.02, 0.01)}
+			stats, err := optipart.RunWithFaults(8, m, plan, func(c *optipart.Comm) error {
+				rng := rand.New(rand.NewSource(int64(c.Rank()) + 100))
+				local := optipart.RandomKeys(rng, 2000, 3, optipart.Normal, 2, 12)
+				res := optipart.Partition(c, local, optipart.Options{
+					Curve: curve, Mode: optipart.ModelDriven, Machine: m,
+				})
+				optipart.BuildGhost(c, res.Local, res.Splitters)
+				optipart.SampleSort(c, optipart.RandomKeys(rng, 500, 3, optipart.LogNormal, 2, 10), curve)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := stats.TotalBytes(); got != wantBytes {
+				t.Errorf("TotalBytes = %d, want %d", got, wantBytes)
+			}
+			if got := stats.TotalMsgs(); got != wantMsgs {
+				t.Errorf("TotalMsgs = %d, want %d", got, wantMsgs)
+			}
+			if got := stats.TotalRetransmits(); got != wantRetrans {
+				t.Errorf("TotalRetransmits = %d, want %d", got, wantRetrans)
+			}
+			if got := stats.TotalRetryBytes(); got != wantRetryBytes {
+				t.Errorf("TotalRetryBytes = %d, want %d", got, wantRetryBytes)
+			}
+			if got := stats.TotalDuplicates(); got != wantDups {
+				t.Errorf("TotalDuplicates = %d, want %d", got, wantDups)
+			}
+			if got := math.Float64bits(stats.Time()); got != wantTimeBits {
+				t.Errorf("Time bits = %#x (%.17g), want %#x", got, stats.Time(), wantTimeBits)
+			}
 		})
-		optipart.BuildGhost(c, res.Local, res.Splitters)
-		optipart.SampleSort(c, optipart.RandomKeys(rng, 500, 3, optipart.LogNormal, 2, 10), curve)
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := stats.TotalBytes(); got != wantBytes {
-		t.Errorf("TotalBytes = %d, want %d", got, wantBytes)
-	}
-	if got := stats.TotalMsgs(); got != wantMsgs {
-		t.Errorf("TotalMsgs = %d, want %d", got, wantMsgs)
-	}
-	if got := stats.TotalRetransmits(); got != wantRetrans {
-		t.Errorf("TotalRetransmits = %d, want %d", got, wantRetrans)
-	}
-	if got := stats.TotalRetryBytes(); got != wantRetryBytes {
-		t.Errorf("TotalRetryBytes = %d, want %d", got, wantRetryBytes)
-	}
-	if got := stats.TotalDuplicates(); got != wantDups {
-		t.Errorf("TotalDuplicates = %d, want %d", got, wantDups)
-	}
-	if got := math.Float64bits(stats.Time()); got != wantTimeBits {
-		t.Errorf("Time bits = %#x (%.17g), want %#x", got, stats.Time(), wantTimeBits)
 	}
 }

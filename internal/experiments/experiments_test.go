@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
-	"strings"
+	"optipart/internal/par"
 )
 
 // TestAllExperimentsQuick runs every registered experiment in quick mode;
@@ -51,6 +53,42 @@ func TestAllExperimentsQuick(t *testing.T) {
 					name, golden, firstDiffContext(buf.String(), string(want)), firstDiffContext(string(want), buf.String()))
 			}
 		})
+	}
+}
+
+// TestGoldenTranscriptsAcrossWorkerCounts re-runs every experiment with the
+// worker pool widened: the transcripts must stay byte-identical to the same
+// goldens, because the pool parallelizes host execution without touching a
+// single modeled quantity. (TestAllExperimentsQuick covers the default
+// width, which equals GOMAXPROCS; width 1 is the serial baseline the
+// goldens were recorded at.)
+func TestGoldenTranscriptsAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-count transcript matrix is slow; skipped with -short")
+	}
+	if updateGolden {
+		t.Skip("goldens are recorded by TestAllExperimentsQuick")
+	}
+	for _, w := range []int{1, 2, 7} {
+		for _, name := range Names() {
+			t.Run(fmt.Sprintf("workers=%d/%s", w, name), func(t *testing.T) {
+				prev := par.SetWorkers(w)
+				defer par.SetWorkers(prev)
+				var buf bytes.Buffer
+				if err := Run(name, Config{Out: &buf, Quick: true}); err != nil {
+					t.Fatalf("%s failed: %v\noutput:\n%s", name, err, buf.String())
+				}
+				golden := filepath.Join("testdata", "golden", name+".golden")
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden transcript: %v", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("%s output at workers=%d drifted from golden transcript\n--- got ---\n%s\n--- want ---\n%s",
+						name, w, firstDiffContext(buf.String(), string(want)), firstDiffContext(string(want), buf.String()))
+				}
+			})
+		}
 	}
 }
 

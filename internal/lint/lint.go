@@ -262,6 +262,11 @@ func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
 // goroutines (it charges Stats itself); internal/lint is the analyzer.
 func isCommPkg(path string) bool { return strings.HasSuffix(path, "internal/comm") }
 
+// isParPkg matches internal/par, the sanctioned intra-rank worker pool: its
+// deterministic primitives (static chunking, fixed combine trees) are the
+// one place outside comm allowed to spawn goroutines.
+func isParPkg(path string) bool { return strings.HasSuffix(path, "internal/par") }
+
 func isLintPkg(path string) bool {
 	return strings.Contains(path, "internal/lint") && !strings.Contains(path, "lintfixture")
 }

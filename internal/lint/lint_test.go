@@ -187,6 +187,23 @@ func TestAPIHygieneFixtures(t *testing.T) {
 	checkSilent(t, "hygieneok")
 }
 
+// TestParPoolExemption pins the internal/par carve-out of the goroutine
+// rule: a package whose import path ends in internal/par may spawn pool
+// workers with raw go statements (no //lint:ignore needed), while the same
+// code anywhere else is flagged.
+func TestParPoolExemption(t *testing.T) {
+	checkSilent(t, "internal/par")
+	res := checkFixture(t, "parbad")
+	if n := ruleCount(res, "nondeterminism"); n < 3 {
+		t.Errorf("parbad: %d nondeterminism findings, want at least 3", n)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Rule != "nondeterminism" {
+			t.Errorf("parbad: unexpected %s finding: %s", d.Rule, d)
+		}
+	}
+}
+
 // TestSuppressions pins the directive semantics: a reasoned directive
 // (standalone or trailing) silences exactly its rule on its target line and
 // appears in the audit list; a reason-less or unknown-rule directive is
@@ -237,7 +254,7 @@ func TestSuppressions(t *testing.T) {
 // diagnostic across all fixtures against testdata/positions.golden. Run with
 // UPDATE_LINT_GOLDEN=1 to regenerate after editing fixtures.
 func TestFixturePositions(t *testing.T) {
-	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "suppress"}
+	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "suppress"}
 	l := fixtureLoader(t)
 	srcRoot := filepath.Join(l.ModRoot, "internal", "lint", "testdata", "src")
 	var lines []string

@@ -46,8 +46,11 @@ func runNondeterminism(p *Pass) {
 				case *ast.CallExpr:
 					checkNondetCall(p, x)
 				case *ast.GoStmt:
-					if !isCommPkg(p.Path) {
-						p.Report(x.Pos(), "goroutine outside the comm runtime: state it produces is merged without a barrier, so completion order can reorder output")
+					// internal/comm owns the SPMD rank goroutines and
+					// internal/par owns the pool workers; everywhere else a
+					// raw go statement bypasses both sanctioned schedulers.
+					if !isCommPkg(p.Path) && !isParPkg(p.Path) {
+						p.Report(x.Pos(), "goroutine outside the comm runtime: state it produces is merged without a barrier, so completion order can reorder output — use internal/par for intra-rank parallelism")
 					}
 				case *ast.RangeStmt:
 					checkMapRange(p, fd, x)

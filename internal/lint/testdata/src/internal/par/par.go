@@ -1,0 +1,49 @@
+// Package par is a fixture standing in for the real internal/par package:
+// its synthetic import path ends in internal/par, so the nondeterminism
+// goroutine rule must stay silent on the worker-pool go statements below —
+// the exemption is rule logic, not a //lint:ignore directive.
+package par
+
+import "sync"
+
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	work []func()
+	stop bool
+}
+
+func newPool(n int) *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < n; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	p.mu.Lock()
+	for {
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		if n := len(p.work); n > 0 {
+			t := p.work[n-1]
+			p.work = p.work[:n-1]
+			p.mu.Unlock()
+			t()
+			p.mu.Lock()
+			continue
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *pool) submit(t func()) {
+	p.mu.Lock()
+	p.work = append(p.work, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+}

@@ -1,0 +1,36 @@
+// Package parbad spawns goroutines outside both sanctioned schedulers (the
+// internal/comm rank runtime and the internal/par worker pool): every go
+// statement here must be flagged, proving the internal/par exemption does
+// not leak to ordinary library code.
+package parbad
+
+import "sync"
+
+func fanOut(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) { // want "goroutine outside the comm runtime.*use internal/par"
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+func background(run func()) {
+	go run() // want "goroutine outside the comm runtime"
+}
+
+type ticker struct{ n int }
+
+func (t *ticker) bump() { t.n++ }
+
+func launch(t *ticker) {
+	go t.bump() // want "goroutine outside the comm runtime"
+}

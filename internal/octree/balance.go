@@ -1,6 +1,16 @@
 package octree
 
-import "optipart/internal/sfc"
+import (
+	"optipart/internal/par"
+	"optipart/internal/sfc"
+)
+
+// balanceCutoff gates the parallel neighbor scan of Balance21; balanceGrain
+// fixes its chunk layout independently of the worker count.
+const (
+	balanceCutoff = 1 << 13
+	balanceGrain  = 1 << 11
+)
 
 // Balance21 enforces the 2:1 face-balance condition on a complete linear
 // octree: leaves sharing a face differ by at most one refinement level. It
@@ -17,16 +27,52 @@ func Balance21(t *Tree) *Tree {
 		work := &Tree{Curve: curve, Leaves: leaves}
 		split := make([]bool, len(leaves))
 		any := false
-		for _, k := range leaves {
-			for _, f := range Faces(curve.Dim) {
-				nk, ok := FaceNeighbor(k, f)
-				if !ok {
-					continue
+		mark := func(j int) {
+			if !split[j] {
+				split[j] = true
+				any = true
+			}
+		}
+		if par.Workers() > 1 && len(leaves) >= balanceCutoff {
+			// The neighbor scans are pure lookups (FindLeaf is a stateless
+			// binary search), so they chunk across the pool; each chunk
+			// collects the leaf indices it wants split and the marks merge
+			// serially. Marking is an idempotent set union, so the result is
+			// the same boolean vector the serial loop builds.
+			nc := par.NumChunks(len(leaves), balanceGrain)
+			marks := make([][]int, nc)
+			par.ForChunks(len(leaves), balanceGrain, func(c, lo, hi int) {
+				var local []int
+				for _, k := range leaves[lo:hi] {
+					for _, f := range Faces(curve.Dim) {
+						nk, ok := FaceNeighbor(k, f)
+						if !ok {
+							continue
+						}
+						j := work.FindLeaf(nk)
+						if j >= 0 && int(leaves[j].Level) < int(k.Level)-1 {
+							local = append(local, j)
+						}
+					}
 				}
-				j := work.FindLeaf(nk)
-				if j >= 0 && int(leaves[j].Level) < int(k.Level)-1 && !split[j] {
-					split[j] = true
-					any = true
+				marks[c] = local
+			})
+			for _, m := range marks {
+				for _, j := range m {
+					mark(j)
+				}
+			}
+		} else {
+			for _, k := range leaves {
+				for _, f := range Faces(curve.Dim) {
+					nk, ok := FaceNeighbor(k, f)
+					if !ok {
+						continue
+					}
+					j := work.FindLeaf(nk)
+					if j >= 0 && int(leaves[j].Level) < int(k.Level)-1 {
+						mark(j)
+					}
 				}
 			}
 		}

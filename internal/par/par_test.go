@@ -1,0 +1,375 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// workerCounts is the ISSUE's matrix: serial, two, an odd prime, and
+// whatever the host offers.
+func workerCounts() []int {
+	counts := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// atWorkers runs f under a pool of w executors, restoring the prior width.
+func atWorkers(t testing.TB, w int, f func()) {
+	t.Helper()
+	prev := SetWorkers(w)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, grain, want int }{
+		{0, 10, 0}, {-5, 10, 0}, {1, 10, 1}, {10, 10, 1}, {11, 10, 2},
+		{100, 1, 100}, {7, 0, 7}, {7, -3, 7}, {19, 4, 5},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.grain); got != c.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", c.n, c.grain, got, c.want)
+		}
+	}
+}
+
+// TestForCoversEachIndexOnce: every index in [0, n) is visited exactly once,
+// at every worker count, including the empty and single-element edges.
+func TestForCoversEachIndexOnce(t *testing.T) {
+	sizes := []int{0, 1, 2, 63, 64, 65, 1000}
+	for _, w := range workerCounts() {
+		for _, n := range sizes {
+			t.Run(fmt.Sprintf("workers=%d/n=%d", w, n), func(t *testing.T) {
+				atWorkers(t, w, func() {
+					hits := make([]int32, n)
+					For(n, 64, func(lo, hi int) {
+						if lo < 0 || hi > n || lo > hi {
+							t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("index %d visited %d times", i, h)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestForChunksLayoutFixed: the (chunk, lo, hi) triples are a pure function
+// of (n, grain) — identical at every worker count.
+func TestForChunksLayoutFixed(t *testing.T) {
+	const n, grain = 1003, 37
+	nc := NumChunks(n, grain)
+	layout := func(w int) []int {
+		bounds := make([]int, 2*nc)
+		atWorkers(t, w, func() {
+			ForChunks(n, grain, func(c, lo, hi int) {
+				bounds[2*c] = lo
+				bounds[2*c+1] = hi
+			})
+		})
+		return bounds
+	}
+	want := layout(1)
+	for _, w := range workerCounts()[1:] {
+		got := layout(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: chunk layout drifted at slot %d: got %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReduceIntMatchesSerialSum(t *testing.T) {
+	sizes := []int{0, 1, 23, 24, 25, 1000, 4096}
+	for _, n := range sizes {
+		src := make([]int64, n)
+		var want int64
+		for i := range src {
+			src[i] = int64(i*i - 7*i + 3)
+			want += src[i]
+		}
+		for _, w := range workerCounts() {
+			atWorkers(t, w, func() {
+				got := Reduce(n, 24, func(lo, hi int) int64 {
+					var s int64
+					for _, v := range src[lo:hi] {
+						s += v
+					}
+					return s
+				}, func(a, b int64) int64 { return a + b })
+				if got != want {
+					t.Errorf("workers=%d n=%d: Reduce = %d, want %d", w, n, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestReduceFloatBitIdentical: the fixed combine tree makes float sums
+// bit-identical across worker counts, even though float addition does not
+// associate.
+func TestReduceFloatBitIdentical(t *testing.T) {
+	const n = 5000
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = math.Sin(float64(i)) * math.Exp(float64(i%13))
+	}
+	sum := func(w int) (bits uint64) {
+		atWorkers(t, w, func() {
+			got := Reduce(n, 57, func(lo, hi int) float64 {
+				var s float64
+				for _, v := range src[lo:hi] {
+					s += v
+				}
+				return s
+			}, func(a, b float64) float64 { return a + b })
+			bits = math.Float64bits(got)
+		})
+		return bits
+	}
+	want := sum(1)
+	for _, w := range workerCounts()[1:] {
+		if got := sum(w); got != want {
+			t.Errorf("workers=%d: float Reduce bits %016x, want %016x", w, got, want)
+		}
+	}
+}
+
+func TestPrefixSumIntMatchesNaive(t *testing.T) {
+	sizes := []int{0, 1, 23, 24, 25, 997, 4096}
+	for _, n := range sizes {
+		src := make([]int64, n)
+		for i := range src {
+			src[i] = int64(3*i - n)
+		}
+		naive := make([]int64, n+1)
+		for i, v := range src {
+			naive[i+1] = naive[i] + v
+		}
+		for _, w := range workerCounts() {
+			atWorkers(t, w, func() {
+				out := make([]int64, n+1)
+				PrefixSum(out, src, 24)
+				for i := range naive {
+					if out[i] != naive[i] {
+						t.Fatalf("workers=%d n=%d: out[%d] = %d, want %d", w, n, i, out[i], naive[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPrefixSumFloatBitIdenticalAcrossWorkers(t *testing.T) {
+	const n = 3000
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = math.Cos(float64(i)) / float64(i%17+1)
+	}
+	scan := func(w int) []uint64 {
+		bits := make([]uint64, n+1)
+		atWorkers(t, w, func() {
+			out := make([]float64, n+1)
+			PrefixSum(out, src, 64)
+			for i, v := range out {
+				bits[i] = math.Float64bits(v)
+			}
+		})
+		return bits
+	}
+	want := scan(1)
+	for _, w := range workerCounts()[1:] {
+		got := scan(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: prefix bits differ at %d: %016x vs %016x", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrefixSumLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for mismatched out length")
+		}
+		if _, ok := r.(error); !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+	}()
+	PrefixSum(make([]int64, 5), make([]int64, 5), 8)
+}
+
+func TestSetWorkersRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("SetWorkers(%d) did not panic", n)
+				}
+				if _, ok := r.(error); !ok {
+					t.Fatalf("panic value %v (%T) is not an error", r, r)
+				}
+			}()
+			SetWorkers(n)
+		}()
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	orig := Workers()
+	prev := SetWorkers(3)
+	if prev != orig {
+		t.Errorf("SetWorkers returned prev=%d, want %d", prev, orig)
+	}
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	if back := SetWorkers(orig); back != 3 {
+		t.Errorf("restoring returned prev=%d, want 3", back)
+	}
+}
+
+// TestPanicPropagatesToCaller: a panic in a chunk body must surface on the
+// goroutine that invoked For — with the original panic value — not crash a
+// pool worker.
+func TestPanicPropagatesToCaller(t *testing.T) {
+	sentinel := fmt.Errorf("par test: chunk 13 exploded")
+	for _, w := range workerCounts() {
+		atWorkers(t, w, func() {
+			defer func() {
+				if r := recover(); r != sentinel {
+					t.Errorf("workers=%d: recovered %v, want sentinel error", w, r)
+				}
+			}()
+			For(1000, 10, func(lo, hi int) {
+				if lo <= 130 && 130 < hi {
+					panic(sentinel)
+				}
+			})
+			t.Errorf("workers=%d: For returned instead of panicking", w)
+		})
+	}
+}
+
+// TestNestedForCompletes: a parallel region launched from inside a chunk
+// body must not deadlock the pool (the joiner helps instead of blocking).
+func TestNestedForCompletes(t *testing.T) {
+	for _, w := range workerCounts() {
+		atWorkers(t, w, func() {
+			var total atomic.Int64
+			For(8, 1, func(lo, hi int) {
+				For(100, 7, func(ilo, ihi int) {
+					total.Add(int64(ihi - ilo))
+				})
+			})
+			if got := total.Load(); got != 800 {
+				t.Errorf("workers=%d: nested For visited %d indices, want 800", w, got)
+			}
+		})
+	}
+}
+
+// TestConcurrentRegions: many goroutines (standing in for simulated ranks)
+// share one pool without interference. Spawning test goroutines directly is
+// fine here — this package is the sanctioned concurrency layer under test.
+func TestConcurrentRegions(t *testing.T) {
+	atWorkers(t, 4, func() {
+		const ranks = 8
+		results := make([]int64, ranks)
+		done := make(chan int, ranks)
+		for r := 0; r < ranks; r++ {
+			go func(r int) {
+				results[r] = Reduce(10000, 100, func(lo, hi int) int64 {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					return s
+				}, func(a, b int64) int64 { return a + b })
+				done <- r
+			}(r)
+		}
+		for i := 0; i < ranks; i++ {
+			<-done
+		}
+		const want = 10000 * 9999 / 2
+		for r, got := range results {
+			if got != want {
+				t.Errorf("rank %d: sum = %d, want %d", r, got, want)
+			}
+		}
+	})
+}
+
+func FuzzPrefixSumMatchesNaive(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3), uint8(2))
+	f.Add([]byte{}, uint8(0), uint8(6))
+	f.Add([]byte{255, 0, 255, 0}, uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, grain, workers uint8) {
+		src := make([]int64, len(data))
+		for i, b := range data {
+			src[i] = int64(b) - 128
+		}
+		naive := make([]int64, len(src)+1)
+		for i, v := range src {
+			naive[i+1] = naive[i] + v
+		}
+		w := int(workers)%8 + 1
+		atWorkers(t, w, func() {
+			out := make([]int64, len(src)+1)
+			PrefixSum(out, src, int(grain))
+			for i := range naive {
+				if out[i] != naive[i] {
+					t.Fatalf("workers=%d grain=%d: out[%d] = %d, want %d", w, grain, i, out[i], naive[i])
+				}
+			}
+		})
+	})
+}
+
+func FuzzReduceMatchesSerial(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint8(1), uint8(3))
+	f.Add([]byte{0}, uint8(7), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, grain, workers uint8) {
+		src := make([]int64, len(data))
+		var want int64
+		for i, b := range data {
+			src[i] = int64(b)*3 - 100
+			want += src[i]
+		}
+		w := int(workers)%8 + 1
+		atWorkers(t, w, func() {
+			got := Reduce(len(src), int(grain), func(lo, hi int) int64 {
+				var s int64
+				for _, v := range src[lo:hi] {
+					s += v
+				}
+				return s
+			}, func(a, b int64) int64 { return a + b })
+			if got != want {
+				t.Fatalf("workers=%d grain=%d: Reduce = %d, want %d", w, grain, got, want)
+			}
+		})
+	})
+}

@@ -1,0 +1,93 @@
+package par
+
+import "fmt"
+
+// Real is the constraint for PrefixSum: built-in numeric types whose +
+// operator the scan folds over.
+type Real interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Reduce maps every chunk of [0, n) to a partial result and folds the
+// partials with a fixed pairwise combine tree. The chunk layout and the tree
+// shape depend only on (n, grain), so the association — which additions
+// happen in which order — is the same at every worker count: float results
+// are bit-identical whether the pool is serial or 64 wide. Returns the zero
+// T when n <= 0.
+//
+// mapChunk runs concurrently and must not share mutable state; combine runs
+// on the calling goroutine only.
+func Reduce[T any](n, grain int, mapChunk func(lo, hi int) T, combine func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nc := NumChunks(n, grain)
+	if nc == 1 {
+		return mapChunk(0, n)
+	}
+	partials := make([]T, nc)
+	ForChunks(n, grain, func(c, lo, hi int) {
+		partials[c] = mapChunk(lo, hi)
+	})
+	// Fixed binary tree: stride-doubling over the chunk-ordered partials.
+	// combine(partials[i], partials[i+stride]) always pairs the same
+	// operands, so the fold is reproducible bit-for-bit.
+	for stride := 1; stride < nc; stride *= 2 {
+		for i := 0; i+stride < nc; i += 2 * stride {
+			partials[i] = combine(partials[i], partials[i+stride])
+		}
+	}
+	return partials[0]
+}
+
+// PrefixSum writes the exclusive prefix sums of src into out: out[0] = 0 and
+// out[i+1] = src[0] + … + src[i]. len(out) must be len(src)+1; the total
+// lands in out[len(src)].
+//
+// The scan is always computed in three chunked phases — per-chunk totals,
+// a serial scan of the totals in chunk order, then per-chunk fill — even on
+// a serial pool, so the float association is fixed by (n, grain) alone and
+// results are bit-identical at every worker count. For integer element
+// types the result equals the naive running sum exactly.
+func PrefixSum[T Real](out, src []T, grain int) {
+	if len(out) != len(src)+1 {
+		panic(fmt.Errorf("par: PrefixSum: len(out) = %d, want len(src)+1 = %d", len(out), len(src)+1))
+	}
+	n := len(src)
+	var zero T
+	out[0] = zero
+	if n == 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nc := NumChunks(n, grain)
+	totals := make([]T, nc)
+	ForChunks(n, grain, func(c, lo, hi int) {
+		var s T
+		for _, v := range src[lo:hi] {
+			s += v
+		}
+		totals[c] = s
+	})
+	bases := make([]T, nc)
+	base := zero
+	for c := 0; c < nc; c++ {
+		bases[c] = base
+		base += totals[c]
+	}
+	ForChunks(n, grain, func(c, lo, hi int) {
+		acc := bases[c]
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+			out[i+1] = acc
+		}
+	})
+}

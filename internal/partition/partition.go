@@ -75,7 +75,8 @@ type Options struct {
 	// targets become r·W/p over total weight W instead of element counts.
 	// Weighted partitioning is what the coarse repartition of the
 	// bottom-up heuristic (ref [35], §3) requires. The function must be
-	// pure: it is applied to local elements on every rank.
+	// pure and safe for concurrent use: it is applied to local elements on
+	// every rank, possibly from internal/par pool workers.
 	Weight func(sfc.Key) int64
 }
 

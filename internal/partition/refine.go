@@ -4,8 +4,18 @@ import (
 	"slices"
 
 	"optipart/internal/comm"
+	"optipart/internal/par"
 	"optipart/internal/psort"
 	"optipart/internal/sfc"
+)
+
+// parCutoff gates the parallel selector paths (below it the chunked passes
+// cost more than they save); parGrain fixes their chunk layout. Both are
+// independent of the worker count, so rank arrays and integer prefix sums
+// are identical at every pool width.
+const (
+	parCutoff = 1 << 14
+	parGrain  = 1 << 12
 )
 
 // bucket is one node of the induced top-down octree during splitter
@@ -56,9 +66,23 @@ func newSelector(c *comm.Comm, curve *sfc.Curve, local []sfc.Key, kmax int, weig
 	}
 	s.ranks = make([]sfc.Rank128, len(local))
 	s.pw = make([]int64, len(local)+1)
-	for i, k := range local {
-		s.ranks[i] = curve.Rank(k)
-		s.pw[i+1] = s.pw[i] + weight(k)
+	if par.Workers() > 1 && len(local) >= parCutoff {
+		// Weight is still evaluated exactly once per element, just from pool
+		// workers (Options.Weight requires a pure function). The integer
+		// prefix sum is exact, so pw matches the serial loop bit-for-bit.
+		w := make([]int64, len(local))
+		par.For(len(local), parGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.ranks[i] = curve.Rank(local[i])
+				w[i] = weight(local[i])
+			}
+		})
+		par.PrefixSum(s.pw, w, parGrain)
+	} else {
+		for i, k := range local {
+			s.ranks[i] = curve.Rank(k)
+			s.pw[i+1] = s.pw[i] + weight(k)
+		}
 	}
 	localW := s.pw[len(local)]
 	s.n = comm.AllreduceScalar(c, localW, 8, comm.SumI64)
@@ -193,8 +217,11 @@ func (s *selector) splitChunk(idxs []int) {
 		s.offsBuf = make([]int, need)
 	}
 	offsAll := s.offsBuf[:len(idxs)*(per+1)]
-	var scanned int64
-	for i, bi := range idxs {
+	// Each bucket's classification is independent (disjoint counts and offs
+	// slots), so buckets chunk across the pool when there are enough to pay
+	// for it.
+	classify := func(i int) {
+		bi := idxs[i]
 		b := &s.buckets[bi]
 		offs := offsAll[i*(per+1) : (i+1)*(per+1)]
 		// Elements equal to the node come first in pre-order; children
@@ -213,6 +240,23 @@ func (s *selector) splitChunk(idxs []int) {
 			counts[i*per+1+pos] = s.weightRange(j, end)
 			j = end
 		}
+	}
+	if par.Workers() > 1 && len(idxs) >= 4 {
+		par.For(len(idxs), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				classify(i)
+			}
+		})
+	} else {
+		for i := range idxs {
+			classify(i)
+		}
+	}
+	// The modeled cost is the sequential scan the paper's implementation
+	// pays, summed on the rank's goroutine — identical at every pool width.
+	var scanned int64
+	for _, bi := range idxs {
+		b := &s.buckets[bi]
 		scanned += int64(b.hi - b.lo)
 	}
 	s.c.Compute(scanned * psort.KeyBytes)

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"optipart/internal/comm"
+	"optipart/internal/par"
 	"optipart/internal/sfc"
 )
 
@@ -59,11 +60,22 @@ func HistogramSort(c *comm.Comm, local []sfc.Key, opts HistogramSortOptions) []s
 	// binary search over these integer ranks.
 	localRanks := rankKeys(curve, local)
 
-	// Global rank of a key: how many elements precede it.
+	// Global rank of a key: how many elements precede it. The histogram
+	// probes are independent binary searches, so they chunk across the pool;
+	// the modeled Compute charge and the Allreduce stay on the rank's
+	// goroutine and are identical at every worker count.
 	rankOf := func(cands []sfc.Key) []int64 {
 		counts := make([]int64, len(cands))
-		for i, cand := range cands {
-			counts[i] = int64(searchRank(localRanks, curve.Rank(cand)))
+		if par.Workers() > 1 && len(cands) >= 64 {
+			par.For(len(cands), 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					counts[i] = int64(searchRank(localRanks, curve.Rank(cands[i])))
+				}
+			})
+		} else {
+			for i, cand := range cands {
+				counts[i] = int64(searchRank(localRanks, curve.Rank(cand)))
+			}
 		}
 		c.Compute(int64(len(cands)) * KeyBytes) // histogram pass
 		return comm.Allreduce(c, counts, 8, comm.SumI64)

@@ -1,0 +1,99 @@
+package psort
+
+import (
+	"optipart/internal/par"
+	"optipart/internal/sfc"
+)
+
+// parallelCutoff is the slice length below which the parallel radix sort
+// hands the bucket to the PR 3 serial sort: under ~16k records the chunked
+// counting passes cost more than they save.
+const parallelCutoff = 1 << 14
+
+// radixGrain is the chunk grain of the parallel counting and scatter
+// passes; rankGrain is the grain of the rank-linearization and copy-back
+// loops. Both fix the chunk layout (par.NumChunks) independently of the
+// worker count, which is what makes the parallel permutation identical to
+// the serial one.
+const (
+	radixGrain = 1 << 13
+	rankGrain  = 1 << 12
+)
+
+// parallelOK reports whether the parallel TreeSort path should run: a pool
+// wider than one worker and enough records to amortize the chunked passes.
+func parallelOK(n int) bool {
+	return n >= parallelCutoff && par.Workers() > 1
+}
+
+// parRadixSortRanks is radixSortRanks with the digit-counting and scatter
+// passes chunked across the pool and the 256 sub-buckets recursed in
+// parallel. The scatter computes each chunk's per-bucket start as the
+// bucket's global offset plus the counts of all earlier chunks — exactly
+// the positions the serial stable scatter assigns — so the output
+// permutation is byte-identical to the serial sort at every worker count.
+func parRadixSortRanks(a, scratch []keyRank, d int) {
+	for {
+		if len(a) < parallelCutoff || par.Workers() == 1 {
+			radixSortRanks(a, scratch, d)
+			return
+		}
+		if d >= sfc.RankDigits {
+			return // full ranks equal: keys equal, nothing to order
+		}
+		nc := par.NumChunks(len(a), radixGrain)
+		chunkCounts := make([][256]int, nc)
+		par.ForChunks(len(a), radixGrain, func(c, lo, hi int) {
+			cnt := &chunkCounts[c]
+			for i := lo; i < hi; i++ {
+				cnt[a[i].rank.Digit(d)]++
+			}
+		})
+		var counts [256]int
+		for c := range chunkCounts {
+			for b := 0; b < 256; b++ {
+				counts[b] += chunkCounts[c][b]
+			}
+		}
+		// A digit shared by every element (common ancestor prefix, level
+		// padding) needs no data movement: advance to the next digit.
+		if counts[a[0].rank.Digit(d)] == len(a) {
+			d++
+			continue
+		}
+		var offs [257]int
+		for b := 0; b < 256; b++ {
+			offs[b+1] = offs[b] + counts[b]
+		}
+		// starts[c][b] = where chunk c writes its first b-digit record:
+		// the serial scatter's cursor position when it reaches chunk c.
+		starts := make([][256]int, nc)
+		var run [256]int
+		copy(run[:], offs[:256])
+		for c := 0; c < nc; c++ {
+			starts[c] = run
+			for b := 0; b < 256; b++ {
+				run[b] += chunkCounts[c][b]
+			}
+		}
+		par.ForChunks(len(a), radixGrain, func(c, lo, hi int) {
+			st := &starts[c]
+			for i := lo; i < hi; i++ {
+				b := a[i].rank.Digit(d)
+				scratch[st[b]] = a[i]
+				st[b]++
+			}
+		})
+		par.For(len(a), radixGrain, func(lo, hi int) {
+			copy(a[lo:hi], scratch[lo:hi])
+		})
+		par.For(256, 1, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				if lo, hi := offs[b], offs[b+1]; hi-lo > 1 {
+					parRadixSortRanks(a[lo:hi], scratch[lo:hi], d+1)
+				}
+			}
+		})
+		return
+	}
+}

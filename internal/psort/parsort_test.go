@@ -1,0 +1,191 @@
+package psort
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"optipart/internal/octree"
+	"optipart/internal/par"
+	"optipart/internal/sfc"
+)
+
+// sortWorkerCounts is the ISSUE's matrix: serial, two, an odd prime, and
+// the host's GOMAXPROCS.
+func sortWorkerCounts() []int {
+	counts := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// adversarialInputs builds the stress cases of the ISSUE: sizes straddling
+// both cutoffs, duplicate-heavy multisets, presorted and reversed runs, and
+// keys sharing a long common prefix (which degenerates the top radix
+// levels into the skip-common-digit path).
+func adversarialInputs(rng *rand.Rand, dim int) map[string][]sfc.Key {
+	curve := sfc.NewCurve(sfc.Morton, dim)
+	inputs := map[string][]sfc.Key{}
+	for _, n := range []int{0, 1, insertionCutoff - 1, insertionCutoff + 1,
+		parallelCutoff - 1, parallelCutoff + 1, 3 * parallelCutoff} {
+		inputs[fmt.Sprintf("uniform/n=%d", n)] = octree.RandomKeys(rng, n, dim, octree.Uniform, 0, 12)
+	}
+	n := parallelCutoff * 2
+	dup := make([]sfc.Key, n)
+	base := octree.RandomKeys(rng, 7, dim, octree.Uniform, 1, 6)
+	for i := range dup {
+		dup[i] = base[rng.Intn(len(base))]
+	}
+	inputs["duplicate-heavy"] = dup
+
+	sorted := octree.RandomKeys(rng, n, dim, octree.Uniform, 0, 12)
+	TreeSortComparator(curve, sorted)
+	inputs["presorted"] = sorted
+	rev := append([]sfc.Key(nil), sorted...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	inputs["reversed"] = rev
+
+	// Deep keys inside one tiny subtree: every rank shares a long digit
+	// prefix, so the radix sort must skip many common digits before any
+	// scatter happens.
+	anchor := octree.RandomKeys(rng, 1, dim, octree.Uniform, 10, 10)[0]
+	deep := make([]sfc.Key, n)
+	for i := range deep {
+		k := anchor
+		for int(k.Level) < 18 {
+			k = k.Child(rng.Intn(1 << dim))
+		}
+		deep[i] = k
+	}
+	inputs["shared-prefix"] = deep
+	return inputs
+}
+
+// TestParallelTreeSortMatchesSerial: for every worker count, every curve,
+// and every adversarial input, the parallel TreeSort output is byte-for-byte
+// the serial output. Equal keys are identical values and the parallel
+// scatter is stable, so exact equality is the right oracle.
+func TestParallelTreeSortMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1751))
+	for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+		for _, dim := range []int{2, 3} {
+			curve := sfc.NewCurve(kind, dim)
+			for name, input := range adversarialInputs(rng, dim) {
+				want := append([]sfc.Key(nil), input...)
+				func() {
+					prev := par.SetWorkers(1)
+					defer par.SetWorkers(prev)
+					TreeSort(curve, want)
+				}()
+				for _, w := range sortWorkerCounts() {
+					got := append([]sfc.Key(nil), input...)
+					func() {
+						prev := par.SetWorkers(w)
+						defer par.SetWorkers(prev)
+						TreeSort(curve, got)
+					}()
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%v dim=%d %s workers=%d: output differs at %d: %v vs %v",
+								kind, dim, name, w, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParRadixSortRanksDirect exercises parRadixSortRanks below its own
+// gate logic: even when invoked directly on a wide pool it must reproduce
+// the serial permutation.
+func TestParRadixSortRanksDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	keys := octree.RandomKeys(rng, parallelCutoff+513, 3, octree.Normal, 0, 14)
+	mk := func() []keyRank {
+		prs := make([]keyRank, len(keys))
+		for i, k := range keys {
+			prs[i] = keyRank{key: k, rank: curve.Rank(k)}
+		}
+		return prs
+	}
+	want := mk()
+	radixSortRanks(want, make([]keyRank, len(want)), 0)
+	for _, w := range sortWorkerCounts() {
+		got := mk()
+		prev := par.SetWorkers(w)
+		parRadixSortRanks(got, make([]keyRank, len(got)), 0)
+		par.SetWorkers(prev)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: record %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestPooledPairCapacityBounded is the sync.Pool retention regression test:
+// a buffer above maxPooledPairs must not survive putPairs, so one huge sort
+// cannot pin its working arrays for the process lifetime.
+func TestPooledPairCapacityBounded(t *testing.T) {
+	huge := make([]keyRank, maxPooledPairs+1)
+	putPairs(&huge)
+	// If putPairs had pooled it, the next Get on this P would hand the huge
+	// buffer straight back.
+	for i := 0; i < 64; i++ {
+		p := getPairs(8)
+		if cap(*p) > maxPooledPairs {
+			t.Fatalf("pool returned buffer with cap %d > maxPooledPairs %d", cap(*p), maxPooledPairs)
+		}
+		putPairs(p)
+	}
+	// Bounded buffers are still recycled: TreeSort keeps working after the
+	// cap rejection.
+	rng := rand.New(rand.NewSource(5))
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	keys := octree.RandomKeys(rng, 4096, 3, octree.Uniform, 0, 10)
+	TreeSort(curve, keys)
+	if !IsSorted(curve, keys) {
+		t.Fatal("TreeSort output not sorted after pool-cap exercise")
+	}
+}
+
+// FuzzParallelTreeSort drives random (seed, size, workers, curve) tuples
+// through the serial-vs-parallel equivalence oracle.
+func FuzzParallelTreeSort(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(3), uint8(1))
+	f.Add(int64(42), uint16(20000), uint8(4), uint8(3))
+	f.Add(int64(7), uint16(0), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, workers, kindDim uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		kind := sfc.Morton
+		if kindDim&1 == 1 {
+			kind = sfc.Hilbert
+		}
+		dim := 2 + int(kindDim>>1)&1
+		curve := sfc.NewCurve(kind, dim)
+		keys := octree.RandomKeys(rng, int(n), dim, octree.Uniform, 0, 15)
+		want := append([]sfc.Key(nil), keys...)
+		prev := par.SetWorkers(1)
+		TreeSort(curve, want)
+		par.SetWorkers(int(workers)%8 + 1)
+		got := append([]sfc.Key(nil), keys...)
+		TreeSort(curve, got)
+		par.SetWorkers(prev)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d n=%d: output differs at %d", int(workers)%8+1, n, i)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"optipart/internal/comm"
+	"optipart/internal/par"
 	"optipart/internal/sfc"
 )
 
@@ -73,22 +74,52 @@ func SampleSort(c *comm.Comm, local []sfc.Key, opts SampleSortOptions) []sfc.Key
 // bucketBySplitters cuts the sorted local run into p contiguous buckets at
 // the splitter keys; rank r's bucket holds keys in [splitters[r-1],
 // splitters[r]). Each boundary is a binary search over linearized ranks.
+//
+// The parallel path searches the full run for every splitter independently
+// and then clamps each boundary to its predecessor. That is exactly the
+// sequential narrowing semantics: a search restricted to local[lo:] returns
+// lo when the splitter sorts before local[lo], which is what the clamp
+// produces, and the unrestricted position otherwise.
 func bucketBySplitters(curve *sfc.Curve, local, splitters []sfc.Key, p int) [][]sfc.Key {
+	bounds := make([]int, len(splitters))
+	if par.Workers() > 1 && len(splitters) >= 8 && len(local) >= parallelCutoff {
+		par.For(len(splitters), 1, func(rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				bounds[r] = searchKeys(curve, local, curve.Rank(splitters[r]))
+			}
+		})
+		for r := 1; r < len(bounds); r++ {
+			if bounds[r] < bounds[r-1] {
+				bounds[r] = bounds[r-1]
+			}
+		}
+	} else {
+		lo := 0
+		for r := range splitters {
+			bounds[r] = lo + searchKeys(curve, local[lo:], curve.Rank(splitters[r]))
+			lo = bounds[r]
+		}
+	}
 	send := make([][]sfc.Key, p)
 	lo := 0
 	for r := 0; r < p; r++ {
 		hi := len(local)
-		if r < len(splitters) {
-			sr := curve.Rank(splitters[r])
-			i, _ := slices.BinarySearchFunc(local[lo:], sr, func(k sfc.Key, t sfc.Rank128) int {
-				return curve.Rank(k).Compare(t)
-			})
-			hi = lo + i
+		if r < len(bounds) {
+			hi = bounds[r]
 		}
 		send[r] = local[lo:hi]
 		lo = hi
 	}
 	return send
+}
+
+// searchKeys returns the first index in the curve-sorted keys whose rank is
+// at or after target.
+func searchKeys(curve *sfc.Curve, keys []sfc.Key, target sfc.Rank128) int {
+	i, _ := slices.BinarySearchFunc(keys, target, func(k sfc.Key, t sfc.Rank128) int {
+		return curve.Rank(k).Compare(t)
+	})
+	return i
 }
 
 // searchRank returns the first index in ranks with ranks[i] >= r.
@@ -100,6 +131,14 @@ func searchRank(ranks []sfc.Rank128, r sfc.Rank128) int {
 // rankKeys linearizes every key; keys[i]'s curve position is out[i].
 func rankKeys(curve *sfc.Curve, keys []sfc.Key) []sfc.Rank128 {
 	out := make([]sfc.Rank128, len(keys))
+	if parallelOK(len(keys)) {
+		par.For(len(keys), rankGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = curve.Rank(keys[i])
+			}
+		})
+		return out
+	}
 	for i, k := range keys {
 		out[i] = curve.Rank(k)
 	}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"optipart/internal/comm"
+	"optipart/internal/par"
 	"optipart/internal/sfc"
 )
 
@@ -45,6 +46,12 @@ type keyRank struct {
 // per sort.
 var pairPool = sync.Pool{New: func() any { return new([]keyRank) }}
 
+// maxPooledPairs caps the capacity a returned buffer may have and still be
+// pooled: 2^19 records × 32 B = 16 MiB. One outsized sort used to pin its
+// working arrays in the pool for the process lifetime; now its buffers are
+// simply released to the collector.
+const maxPooledPairs = 1 << 19
+
 func getPairs(n int) *[]keyRank {
 	p := pairPool.Get().(*[]keyRank)
 	if cap(*p) < n {
@@ -52,6 +59,13 @@ func getPairs(n int) *[]keyRank {
 	}
 	*p = (*p)[:n]
 	return p
+}
+
+func putPairs(p *[]keyRank) {
+	if cap(*p) > maxPooledPairs {
+		return
+	}
+	pairPool.Put(p)
 }
 
 // TreeSort reorders keys in place into curve order (Algorithm 1). It is a
@@ -69,15 +83,32 @@ func TreeSort(curve *sfc.Curve, keys []sfc.Key) {
 	pairsP := getPairs(len(keys))
 	scratchP := getPairs(len(keys))
 	pairs, scratch := *pairsP, *scratchP
-	for i, k := range keys {
-		pairs[i] = keyRank{key: k, rank: curve.Rank(k)}
+	if parallelOK(len(keys)) {
+		// The parallel path produces the identical permutation (stable
+		// chunked scatter, see parRadixSortRanks); curves are immutable and
+		// safe for concurrent Rank calls.
+		par.For(len(keys), rankGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pairs[i] = keyRank{key: keys[i], rank: curve.Rank(keys[i])}
+			}
+		})
+		parRadixSortRanks(pairs, scratch, 0)
+		par.For(len(keys), rankGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				keys[i] = pairs[i].key
+			}
+		})
+	} else {
+		for i, k := range keys {
+			pairs[i] = keyRank{key: k, rank: curve.Rank(k)}
+		}
+		radixSortRanks(pairs, scratch, 0)
+		for i := range pairs {
+			keys[i] = pairs[i].key
+		}
 	}
-	radixSortRanks(pairs, scratch, 0)
-	for i := range pairs {
-		keys[i] = pairs[i].key
-	}
-	pairPool.Put(pairsP)
-	pairPool.Put(scratchP)
+	putPairs(pairsP)
+	putPairs(scratchP)
 }
 
 // radixSortRanks sorts a by rank with an MSD byte-radix, using scratch

@@ -37,6 +37,7 @@ import (
 	"optipart/internal/machine"
 	"optipart/internal/mesh"
 	"optipart/internal/octree"
+	"optipart/internal/par"
 	"optipart/internal/partition"
 	"optipart/internal/power"
 	"optipart/internal/psort"
@@ -119,6 +120,16 @@ type (
 func Run(p int, m Machine, f func(c *Comm)) *Stats {
 	return comm.Run(p, m.CostModel(), f)
 }
+
+// Workers returns the width of the process-wide worker pool the local
+// kernels (sorting, scans, bucketing) run on. The pool is shared by all
+// simulated ranks, so p ranks never oversubscribe the host.
+func Workers() int { return par.Workers() }
+
+// SetWorkers resizes the shared worker pool and returns the previous width;
+// 1 forces every kernel onto its serial path. Results and modeled costs are
+// identical at every width — only host wall-clock changes.
+func SetWorkers(n int) int { return par.SetWorkers(n) }
 
 // Fault tolerance. RunChecked is the hardened runtime: a rank that panics
 // or returns an error terminates the world with a structured *RankFailure

@@ -3,19 +3,28 @@
 # benchmarks (sorting, partitioning, ghost construction, transport) with
 # -benchmem, then formats them into BENCH_3.json next to this PR's recorded
 # pre-optimization baseline (scripts/bench_baseline_3.txt) so every entry
-# carries its speedup and allocation ratio.
+# carries its speedup and allocation ratio. A second pass runs the
+# worker-pool serial-vs-parallel benches (TreeSortLarge, PartitionE2E at
+# widths 1/4/GOMAXPROCS) into BENCH_5.json against
+# scripts/bench_baseline_5.txt.
 #
-#   ./scripts/bench.sh              # full run, writes BENCH_3.json
-#   ./scripts/bench.sh out.json     # write elsewhere
+#   ./scripts/bench.sh                    # writes BENCH_3.json and BENCH_5.json
+#   ./scripts/bench.sh a.json b.json      # write elsewhere
+#
+# To re-record the worker baseline on a new host, pin the widths first:
+#   OPTIPART_BENCH_WORKERS=1,4 go test -run '^$' \
+#       -bench 'TreeSortLarge|PartitionE2E' -benchmem . > scripts/bench_baseline_5.txt
 set -eu
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_3.json}
+out5=${2:-BENCH_5.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 echo "==> root package benchmarks"
-go test -run '^$' -bench 'TreeSort|Index|Partition|SampleSortBaseline|GhostBuild' \
+go test -run '^$' \
+    -bench 'TreeSortMorton|TreeSortHilbert|Index|PartitionEqualWork|PartitionFlexible|PartitionOptiPart|SampleSortBaseline|GhostBuild' \
     -benchmem . | tee "$tmp/root.txt"
 
 echo "==> comm transport benchmarks"
@@ -25,3 +34,12 @@ echo "==> formatting $out"
 go run ./cmd/benchfmt -baseline scripts/bench_baseline_3.txt -out "$out" \
     "$tmp/root.txt" "$tmp/comm.txt"
 go run ./cmd/benchfmt -check "$out"
+
+echo "==> worker-pool serial-vs-parallel benchmarks"
+go test -run '^$' -bench 'TreeSortLarge|PartitionE2E' -benchmem . | tee "$tmp/workers.txt"
+
+echo "==> formatting $out5"
+go run ./cmd/benchfmt -baseline scripts/bench_baseline_5.txt -out "$out5" \
+    -note "worker-pool record: each entry runs the whole kernel at the width in its name (SetWorkers); workers=1 is byte-for-byte the serial code path of the pre-pool implementation, so its speedup-vs-baseline is the no-regression gate. Baseline captured on a GOMAXPROCS=1 host, where all widths are wall-clock-equivalent by design (the pool never oversubscribes); on a >=4-core host expect TreeSortLarge/workers=4 at >=1.8x over workers=1. Results and modeled costs are identical at every width." \
+    "$tmp/workers.txt"
+go run ./cmd/benchfmt -check "$out5"

@@ -38,14 +38,15 @@ go run ./cmd/optipartlint -listignores ./... >/dev/null
 echo "==> go test -race -shuffle=on $* ./..."
 go test -race -shuffle=on "$@" ./...
 
-echo "==> comm/psort dedicated race pass"
-go test -race -shuffle=on -count=1 ./internal/comm ./internal/psort
+echo "==> par/comm/psort dedicated race pass"
+go test -race -shuffle=on -count=1 ./internal/par ./internal/comm ./internal/psort
 
 echo "==> hot-path benchmark smoke"
 go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
 go test -run '^$' -bench 'Transport' -benchtime 1x ./internal/comm
 
-echo "==> BENCH_3.json parses"
+echo "==> BENCH_3.json / BENCH_5.json parse"
 go run ./cmd/benchfmt -check BENCH_3.json
+go run ./cmd/benchfmt -check BENCH_5.json
 
 echo "CI OK"
