@@ -213,25 +213,11 @@ func buildPlan(p int, kill, strag string, loss, corrupt float64, retry int, seed
 		}
 		plan.Stragglers = append(plan.Stragglers, s)
 	}
-	if loss < 0 || loss > 1 {
-		return nil, fmt.Errorf("-loss %g: drop rate must be in [0,1]", loss)
+	np, err := fault.LossFlags{Loss: loss, Corrupt: corrupt, Retry: retry}.Plan(seed, p)
+	if err != nil {
+		return nil, err
 	}
-	if corrupt < 0 || corrupt > 1 {
-		return nil, fmt.Errorf("-corrupt %g: corruption rate must be in [0,1]", corrupt)
-	}
-	if retry < 0 {
-		return nil, fmt.Errorf("-retry %d: retransmit cap must be >= 0", retry)
-	}
-	if loss > 0 || corrupt > 0 {
-		np := fault.UniformLoss(seed, loss, corrupt)
-		np.Transport.MaxRetries = retry
-		if err := np.Validate(p); err != nil {
-			return nil, err
-		}
-		plan.Net = np
-	} else if retry != 0 {
-		return nil, fmt.Errorf("-retry %d: needs -loss or -corrupt to matter", retry)
-	}
+	plan.Net = np
 	return plan, nil
 }
 

@@ -1,0 +1,457 @@
+// Command optipartd runs one rank of a real multi-process optipart world:
+// every rank is an OS process, collectives travel over unix or TCP sockets
+// (length-prefixed checksummed frames, reconnect with backoff, heartbeat
+// failure detection), and a dead process surfaces to the survivors as a
+// structured *optipart.RankFailure instead of a hang.
+//
+// Three modes:
+//
+//	optipartd -listen unix:/tmp/opt.sock -p 4         # root: hosts rank 0
+//	optipartd -connect unix:/tmp/opt.sock -rank 2 -p 4 # worker: one rank
+//	optipartd -launch -p 4 -kill 2@3                   # driver: full demo
+//
+// The driver is the recovery-by-repartition demo from the issue: it hosts
+// rank 0, launches p-1 local worker processes over a private unix socket,
+// and schedules one of them to exit(43) mid-campaign — a genuine process
+// death, detected by heartbeat. Phase 1 must fail with a *RankFailure
+// naming the victim; phase 2 then repartitions the same workload onto the
+// p-1 survivors (renumbered, fresh socket) and must complete within
+// -deadline.
+//
+// -calibrate makes the root measure ts/tw over the live links and tc from
+// a local memory sweep (optipart.CalibrateOptions) and announce the
+// measured model in place of the machine table's constants. The measured
+// model drives the world's BSP clocks; the partition's model-driven
+// tolerance decisions keep using the -machine table on every rank, so all
+// ranks decide identically.
+//
+// A worker receiving SIGTERM drains gracefully: it announces its departure
+// to the root, closes the link, and exits 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"optipart"
+	"optipart/internal/stats"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "root mode: endpoint to bind (unix:/path.sock or tcp:host:port)")
+		connect   = flag.String("connect", "", "worker mode: endpoint of the root")
+		rank      = flag.Int("rank", 0, "worker mode: this process's rank (1 <= rank < p)")
+		p         = flag.Int("p", 4, "number of ranks in the world")
+		launch    = flag.Bool("launch", false, "driver mode: host rank 0, spawn p-1 local workers, kill one, recover")
+		kill      = flag.String("kill", "", "driver mode: victim as rank@k — rank exits at its k-th collective (default last rank@3)")
+		deadline  = flag.Duration("deadline", 60*time.Second, "driver mode: recovery phase must complete within this budget")
+		socket    = flag.String("socket", "", "driver mode: directory for the rendezvous sockets (default: a temp dir)")
+		calibrate = flag.Bool("calibrate", false, "root/driver mode: measure ts/tw/tc over the live transport and announce the measured model")
+		hardkill  = flag.Int("hardkill", -1, "worker mode: exit(43) at this rank's k-th collective (fault injection; -1 = never)")
+
+		n        = flag.Int("n", 100000, "total number of elements across all ranks")
+		seed     = flag.Int64("seed", 1, "RNG seed (rank r draws from seed+r)")
+		machine  = flag.String("machine", "Clemson-32", "machine model: Titan, Stampede, Clemson-32, Wisconsin-8")
+		curveArg = flag.String("curve", "hilbert", "space-filling curve: morton or hilbert")
+		mode     = flag.String("mode", "optipart", "partitioning mode: equal, flexible, optipart")
+		tol      = flag.Float64("tol", 0.3, "tolerance for -mode flexible")
+		dist     = flag.String("dist", "normal", "element distribution: uniform, normal, lognormal")
+		alpha    = flag.Float64("alpha", optipart.DefaultAlpha, "memory accesses per unit work (application model)")
+	)
+	flag.Parse()
+
+	pr := program{
+		n: *n, seed: *seed, machineName: *machine, curveName: *curveArg,
+		modeName: *mode, distName: *dist, tol: *tol, alpha: *alpha,
+	}
+	if _, _, _, _, err := pr.parse(); err != nil {
+		fatal(err)
+	}
+	if *p < 1 {
+		fatal(fmt.Errorf("-p %d: need at least one rank", *p))
+	}
+
+	var err error
+	switch {
+	case *launch:
+		err = driverMain(pr, *p, *kill, *socket, *deadline, *calibrate)
+	case *listen != "":
+		err = rootMain(pr, *listen, *p, *calibrate)
+	case *connect != "":
+		err = workerMain(pr, *connect, *rank, *p, *hardkill)
+	default:
+		err = errors.New("pick a mode: -launch, -listen, or -connect (see -help)")
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// program is the rank program every process runs: the same flags must reach
+// every rank, because the SPMD world requires identical collective
+// sequences, so the driver forwards them verbatim to the workers it spawns.
+type program struct {
+	n                                          int
+	seed                                       int64
+	machineName, curveName, modeName, distName string
+	tol, alpha                                 float64
+}
+
+func (pr program) parse() (optipart.Machine, *optipart.Curve, optipart.Mode, optipart.Distribution, error) {
+	var zero optipart.Machine
+	m, err := machineByName(pr.machineName)
+	if err != nil {
+		return zero, nil, 0, 0, err
+	}
+	kind := optipart.Hilbert
+	switch strings.ToLower(pr.curveName) {
+	case "hilbert":
+	case "morton":
+		kind = optipart.Morton
+	default:
+		return zero, nil, 0, 0, fmt.Errorf("unknown curve %q", pr.curveName)
+	}
+	var pmode optipart.Mode
+	switch strings.ToLower(pr.modeName) {
+	case "equal":
+		pmode = optipart.EqualWork
+	case "flexible":
+		pmode = optipart.FlexibleTolerance
+	case "optipart":
+		pmode = optipart.ModelDriven
+	default:
+		return zero, nil, 0, 0, fmt.Errorf("unknown mode %q", pr.modeName)
+	}
+	var d optipart.Distribution
+	switch strings.ToLower(pr.distName) {
+	case "uniform":
+		d = optipart.Uniform
+	case "normal":
+		d = optipart.Normal
+	case "lognormal":
+		d = optipart.LogNormal
+	default:
+		return zero, nil, 0, 0, fmt.Errorf("unknown distribution %q", pr.distName)
+	}
+	if pr.n < 1 {
+		return zero, nil, 0, 0, fmt.Errorf("-n %d: need at least one element", pr.n)
+	}
+	return m, optipart.NewCurve(kind, 3), pmode, d, nil
+}
+
+// forward renders the program back into flags for a spawned worker.
+func (pr program) forward() []string {
+	return []string{
+		"-n", strconv.Itoa(pr.n),
+		"-seed", strconv.FormatInt(pr.seed, 10),
+		"-machine", pr.machineName,
+		"-curve", pr.curveName,
+		"-mode", pr.modeName,
+		"-dist", pr.distName,
+		"-tol", strconv.FormatFloat(pr.tol, 'g', -1, 64),
+		"-alpha", strconv.FormatFloat(pr.alpha, 'g', -1, 64),
+	}
+}
+
+// body builds the rank function for a p-rank world. When out is non-nil,
+// rank 0 stores its partition result there.
+func (pr program) body(p int, out **optipart.Result) (func(c *optipart.Comm) error, error) {
+	m, curve, pmode, d, err := pr.parse()
+	if err != nil {
+		return nil, err
+	}
+	perRank := pr.n / p
+	if perRank < 1 {
+		return nil, fmt.Errorf("-n %d spread over %d ranks leaves empty ranks", pr.n, p)
+	}
+	return func(c *optipart.Comm) error {
+		rng := rand.New(rand.NewSource(pr.seed + int64(c.Rank())))
+		local := optipart.RandomKeys(rng, perRank, 3, d, 2, 18)
+		r := optipart.Partition(c, local, optipart.Options{
+			Curve: curve, Mode: pmode, Tol: pr.tol, Machine: m, Alpha: pr.alpha,
+		})
+		if c.Rank() == 0 && out != nil {
+			*out = r
+		}
+		return nil
+	}, nil
+}
+
+// workerMain runs one non-root rank: dial, learn the model from the
+// welcome, run the rank program, report how the world ended.
+func workerMain(pr program, endpoint string, rank, p, hardkill int) error {
+	if rank < 1 || rank >= p {
+		return fmt.Errorf("-rank %d out of range [1,%d) (rank 0 lives in the root process)", rank, p)
+	}
+	// Graceful drain: announce the departure so the root (and any rank
+	// waiting in a collective) observes a structured exit, not silence.
+	// Installed before the dial so a SIGTERM landing while the rendezvous
+	// is still assembling (the dial blocks until the root's welcome) also
+	// exits 0 instead of dying on the default disposition.
+	var drainMu sync.Mutex
+	var drainWk *optipart.WireWorker
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "optipartd: rank %d: SIGTERM, draining\n", rank)
+		drainMu.Lock()
+		if drainWk != nil {
+			drainWk.Depart(rank)
+			drainWk.Close()
+		}
+		drainMu.Unlock()
+		os.Exit(0)
+	}()
+
+	wk, err := optipart.DialRoot(endpoint, rank, p, optipart.WireOptions{})
+	if err != nil {
+		return err
+	}
+	defer wk.Close()
+	drainMu.Lock()
+	drainWk = wk
+	drainMu.Unlock()
+
+	var opts optipart.CheckedOptions
+	if hardkill >= 0 {
+		opts.Hooks = optipart.HardKill{Rank: rank, AtCollective: hardkill}.Hooks(nil)
+	}
+	body, err := pr.body(p, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := optipart.RunRank(rank, p, wk.Model(), wk, opts, body); err != nil {
+		fmt.Fprintf(os.Stderr, "optipartd: rank %d: world failed: %v\n", rank, err)
+		os.Exit(2)
+	}
+	return nil
+}
+
+// rootMain hosts rank 0 against externally launched workers.
+func rootMain(pr program, endpoint string, p int, calibrate bool) error {
+	st, res, err := runRoot(pr, endpoint, p, calibrate, nil)
+	if err != nil {
+		return err
+	}
+	printResult(os.Stdout, pr, p, st, res)
+	return nil
+}
+
+// runRoot binds the root transport, invokes spawned (the driver hooks its
+// worker launches in here, after the socket exists), waits for the world to
+// assemble, optionally calibrates, and runs rank 0 of the program.
+func runRoot(pr program, endpoint string, p int, calibrate bool, spawned func()) (*optipart.Stats, *optipart.Result, error) {
+	m, _, _, _, err := pr.parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := optipart.ListenRoot(endpoint, p, optipart.WireOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rt.Close()
+	if spawned != nil {
+		spawned()
+	}
+	if err := rt.WaitReady(30 * time.Second); err != nil {
+		return nil, nil, err
+	}
+	model := m.CostModel()
+	if calibrate {
+		measured, err := rt.Calibrate(optipart.CalibrateOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("calibrated: tc=%.3g ts=%.3g tw=%.3g (machine table: tc=%.3g ts=%.3g tw=%.3g)\n",
+			measured.Tc, measured.Ts, measured.Tw, model.Tc, model.Ts, model.Tw)
+		model = measured
+	}
+	rt.Announce(model)
+	var res *optipart.Result
+	body, err := pr.body(p, &res)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := optipart.RunRank(0, p, model, rt, optipart.CheckedOptions{}, body)
+	if err != nil {
+		return st, nil, err
+	}
+	rt.Drain(5 * time.Second)
+	return st, res, nil
+}
+
+// driverMain is the recovery-by-repartition demo: phase 1 launches the full
+// world and hard-kills the victim mid-campaign, which must surface as a
+// *RankFailure naming it; phase 2 repartitions onto the renumbered
+// survivors over a fresh socket and must complete within the deadline.
+func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration, calibrate bool) error {
+	if p < 3 {
+		return fmt.Errorf("-launch needs -p >= 3: one root, one victim, and at least one survivor worker")
+	}
+	victim, at := p-1, 3
+	if kill != "" {
+		var err error
+		if victim, at, err = parseKill(kill, p); err != nil {
+			return err
+		}
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	if sockDir == "" {
+		dir, err := os.MkdirTemp("", "optipartd")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		sockDir = dir
+	}
+
+	spawn := func(endpoint string, rank, worldP, hardkill int) *exec.Cmd {
+		args := []string{
+			"-connect", endpoint,
+			"-rank", strconv.Itoa(rank),
+			"-p", strconv.Itoa(worldP),
+		}
+		args = append(args, pr.forward()...)
+		if hardkill >= 0 {
+			args = append(args, "-hardkill", strconv.Itoa(hardkill))
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	// Phase 1: the full world, with the victim scheduled to genuinely die.
+	fmt.Printf("phase 1: %d ranks, victim rank %d exits at its collective %d\n", p, victim, at)
+	ep1 := "unix:" + filepath.Join(sockDir, "phase1.sock")
+	var procs []*exec.Cmd
+	_, _, err = runRoot(pr, ep1, p, calibrate, func() {
+		for r := 1; r < p; r++ {
+			hk := -1
+			if r == victim {
+				hk = at
+			}
+			cmd := spawn(ep1, r, p, hk)
+			if serr := cmd.Start(); serr != nil && err == nil {
+				err = serr
+			}
+			procs = append(procs, cmd)
+		}
+	})
+	for _, cmd := range procs {
+		_ = cmd.Wait() // phase 1 workers die with the world; codes logged on stderr
+	}
+	if err == nil {
+		return fmt.Errorf("phase 1 completed despite the scheduled death of rank %d", victim)
+	}
+	var rf *optipart.RankFailure
+	if !errors.As(err, &rf) {
+		return fmt.Errorf("phase 1 failed without a structured RankFailure: %w", err)
+	}
+	if rf.Rank != victim {
+		return fmt.Errorf("phase 1 blamed rank %d, want victim %d: %w", rf.Rank, victim, err)
+	}
+	fmt.Printf("phase 1: structured failure as expected: %v\n", err)
+
+	// Phase 2: repartition the same workload onto the survivors.
+	survivors := p - 1
+	fmt.Printf("phase 2: repartitioning onto %d survivors (deadline %v)\n", survivors, deadline)
+	start := time.Now()
+	guard := time.AfterFunc(deadline, func() {
+		fmt.Fprintf(os.Stderr, "error: recovery did not complete within %v\n", deadline)
+		os.Exit(1)
+	})
+	ep2 := "unix:" + filepath.Join(sockDir, "phase2.sock")
+	procs = procs[:0]
+	var spawnErr error
+	st, res, err := runRoot(pr, ep2, survivors, false, func() {
+		for r := 1; r < survivors; r++ {
+			cmd := spawn(ep2, r, survivors, -1)
+			if serr := cmd.Start(); serr != nil && spawnErr == nil {
+				spawnErr = serr
+			}
+			procs = append(procs, cmd)
+		}
+	})
+	guard.Stop()
+	for _, cmd := range procs {
+		if werr := cmd.Wait(); werr != nil && err == nil {
+			err = fmt.Errorf("phase 2 worker: %w", werr)
+		}
+	}
+	if spawnErr != nil {
+		return spawnErr
+	}
+	if err != nil {
+		return fmt.Errorf("recovery failed: %w", err)
+	}
+	fmt.Printf("phase 2: recovery on %d survivors completed in %v\n",
+		survivors, time.Since(start).Round(time.Millisecond))
+	fmt.Println()
+	printResult(os.Stdout, pr, survivors, st, res)
+	return nil
+}
+
+func printResult(w *os.File, pr program, p int, st *optipart.Stats, res *optipart.Result) {
+	fmt.Fprintf(w, "machine %s | curve %s | mode %s | %d elements on %d ranks\n\n",
+		pr.machineName, strings.ToLower(pr.curveName), strings.ToLower(pr.modeName), pr.n, p)
+	table := stats.NewTable("partition quality", "metric", "value")
+	table.Add("modeled partition time (s)", st.Time())
+	table.Add("refinement rounds", res.Rounds)
+	table.Add("Wmax", res.Quality.Wmax)
+	table.Add("load imbalance λ", res.Quality.LoadImbalance())
+	table.Add("Cmax (boundary octants)", res.Quality.Cmax)
+	table.Add("predicted app step (s), Eq. (3)", res.Predicted)
+	table.Fprint(w)
+}
+
+// parseKill parses the driver's -kill rank@k. Rank 0 is the driver process
+// itself, so the victim must be one of the spawned workers.
+func parseKill(s string, p int) (rank, at int, err error) {
+	i := strings.IndexByte(s, '@')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-kill %q: want rank@k", s)
+	}
+	if rank, err = strconv.Atoi(s[:i]); err != nil {
+		return 0, 0, fmt.Errorf("-kill %q: bad rank: %w", s, err)
+	}
+	if rank < 1 || rank >= p {
+		return 0, 0, fmt.Errorf("-kill %q: rank %d out of range [1,%d) (rank 0 is the driver)", s, rank, p)
+	}
+	if at, err = strconv.Atoi(s[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("-kill %q: bad collective index: %w", s, err)
+	}
+	if at < 0 {
+		return 0, 0, fmt.Errorf("-kill %q: collective index must be >= 0", s)
+	}
+	return rank, at, nil
+}
+
+func machineByName(name string) (optipart.Machine, error) {
+	for _, m := range []optipart.Machine{optipart.Titan(), optipart.Stampede(), optipart.Clemson32(), optipart.Wisconsin8()} {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	return optipart.Machine{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

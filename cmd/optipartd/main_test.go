@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseKill covers the driver's victim flag: rank 0 is the driver
+// process itself, so only spawned workers are killable, and malformed
+// schedules fail with a usable message.
+func TestParseKill(t *testing.T) {
+	rank, at, err := parseKill("2@3", 4)
+	if err != nil || rank != 2 || at != 3 {
+		t.Fatalf("parseKill(2@3) = %d, %d, %v", rank, at, err)
+	}
+	cases := []struct {
+		arg  string
+		frag string
+	}{
+		{"2", "want rank@k"},
+		{"x@3", "bad rank"},
+		{"0@3", "out of range [1,4)"},
+		{"4@3", "out of range [1,4)"},
+		{"2@x", "bad collective index"},
+		{"2@-1", "must be >= 0"},
+	}
+	for _, tc := range cases {
+		if _, _, err := parseKill(tc.arg, 4); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("parseKill(%q) = %v, want error containing %q", tc.arg, err, tc.frag)
+		}
+	}
+}
+
+// TestProgramParse covers the shared rank-program flags: every process in
+// the world parses the same strings, so a typo must fail identically and
+// early everywhere.
+func TestProgramParse(t *testing.T) {
+	good := program{n: 1000, seed: 7, machineName: "Titan", curveName: "Morton",
+		modeName: "flexible", distName: "uniform", tol: 0.2, alpha: 8}
+	if _, _, _, _, err := good.parse(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*program)
+		frag   string
+	}{
+		{func(p *program) { p.machineName = "Cray" }, "unknown machine"},
+		{func(p *program) { p.curveName = "peano" }, "unknown curve"},
+		{func(p *program) { p.modeName = "greedy" }, "unknown mode"},
+		{func(p *program) { p.distName = "cauchy" }, "unknown distribution"},
+		{func(p *program) { p.n = 0 }, "at least one element"},
+	}
+	for _, tc := range cases {
+		pr := good
+		tc.mutate(&pr)
+		if _, _, _, _, err := pr.parse(); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("mutated program: err = %v, want error containing %q", err, tc.frag)
+		}
+	}
+}
+
+// TestForwardRoundTrip pins the driver→worker flag forwarding: the worker
+// must reconstruct the exact program, or the SPMD worlds diverge.
+func TestForwardRoundTrip(t *testing.T) {
+	pr := program{n: 12345, seed: -9, machineName: "Wisconsin-8", curveName: "hilbert",
+		modeName: "optipart", distName: "lognormal", tol: 0.15, alpha: 6.5}
+	args := pr.forward()
+	got := map[string]string{}
+	for i := 0; i+1 < len(args); i += 2 {
+		got[args[i]] = args[i+1]
+	}
+	want := map[string]string{
+		"-n": "12345", "-seed": "-9", "-machine": "Wisconsin-8", "-curve": "hilbert",
+		"-mode": "optipart", "-dist": "lognormal", "-tol": "0.15", "-alpha": "6.5",
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("forward()[%s] = %q, want %q", k, got[k], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("forward() carries %d flags, want %d: %v", len(got), len(want), args)
+	}
+}
+
+// TestBodyRejectsEmptyRanks: a world where some rank would hold zero
+// elements is refused before any process dials in.
+func TestBodyRejectsEmptyRanks(t *testing.T) {
+	pr := program{n: 3, seed: 1, machineName: "Titan", curveName: "hilbert",
+		modeName: "equal", distName: "normal", tol: 0.3, alpha: 8}
+	if _, err := pr.body(8, nil); err == nil || !strings.Contains(err.Error(), "empty ranks") {
+		t.Fatalf("body(8) with n=3: err = %v, want empty-ranks refusal", err)
+	}
+	if _, err := pr.body(3, nil); err != nil {
+		t.Fatalf("body(3) with n=3 rejected: %v", err)
+	}
+}

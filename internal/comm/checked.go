@@ -76,8 +76,8 @@ func RunCheckedOpts(p int, model CostModel, opts CheckedOptions, f func(c *Comm)
 	for i := range w.status {
 		w.status[i].phase = "main"
 	}
-	w.barrier.failf = w.fail
-	w.barrier.abandoned = w.abandonedError
+	w.transport.(*inprocTransport).arm(w.fail, w.abandonedError)
+	w.transport.Bind(w.fail)
 	if opts.Net != nil {
 		w.net = opts.Net
 		w.netOpts = opts.Transport.withDefaults()
@@ -171,7 +171,7 @@ func (w *World) depart(rank int) {
 	w.statusMu.Lock()
 	w.status[rank].done = true
 	w.statusMu.Unlock()
-	w.barrier.depart(rank)
+	w.transport.Depart(rank)
 }
 
 // abandonedError builds the error for a collective abandoned by departed
@@ -242,7 +242,7 @@ func (w *World) watchdog(stall time.Duration, stop <-chan struct{}) {
 }
 
 func (w *World) progress() (gen uint64, seqSum int, done int) {
-	gen = w.barrier.generation()
+	gen = w.transport.Generation()
 	w.statusMu.Lock()
 	for _, st := range w.status {
 		seqSum += st.seq

@@ -19,6 +19,7 @@ const (
 // associative, commutative reduction) and returns the combined slice on
 // every rank. All ranks must pass slices of the same length.
 func Allreduce[T any](c *Comm, vals []T, elemBytes int, op func(a, b T) T) []T {
+	wireTypes(c, []T(nil))
 	m := float64(len(vals) * elemBytes)
 	out := c.sync("allreduce", elemBytes, vals, func() float64 {
 		w := c.w
@@ -77,6 +78,7 @@ func AllreduceScalar[T any](c *Comm, val T, elemBytes int, op func(a, b T) T) T 
 // ExclusiveScan returns, on rank r, the op-combination of the values of
 // ranks 0..r-1 (and zero on rank 0).
 func ExclusiveScan[T any](c *Comm, val T, zero T, elemBytes int, op func(a, b T) T) T {
+	wireTypes(c, zero, []T(nil))
 	m := float64(elemBytes)
 	out := c.sync("scan", elemBytes, val, func() float64 {
 		w := c.w
@@ -105,6 +107,7 @@ func ExclusiveScan[T any](c *Comm, val T, zero T, elemBytes int, op func(a, b T)
 // Allgather concatenates every rank's slice in rank order and returns a copy
 // on every rank. Slices may have different lengths.
 func Allgather[T any](c *Comm, vals []T, elemBytes int) []T {
+	wireTypes(c, []T(nil))
 	out := c.sync("allgather", elemBytes, vals, func() float64 {
 		w := c.w
 		var total int
@@ -147,6 +150,7 @@ func Allgather[T any](c *Comm, vals []T, elemBytes int) []T {
 
 // Bcast distributes root's slice to every rank. Non-root ranks pass nil.
 func Bcast[T any](c *Comm, root int, vals []T, elemBytes int) []T {
+	wireTypes(c, []T(nil))
 	out := c.sync("bcast", elemBytes, vals, func() float64 {
 		w := c.w
 		res := w.slots[root].([]T)
@@ -198,6 +202,7 @@ func Alltoallv[T any](c *Comm, send [][]T, elemBytes int, opts AlltoallvOptions)
 	if width <= 0 {
 		width = 1
 	}
+	wireTypes(c, [][]T(nil), [][][]T(nil))
 	out := c.sync("alltoallv", elemBytes, send, func() float64 {
 		all := make([][][]T, w.p)
 		for r := 0; r < w.p; r++ {

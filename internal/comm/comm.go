@@ -71,11 +71,14 @@ type rankStatus struct {
 	done  bool
 }
 
-// World holds the shared state of one SPMD run.
+// World holds the shared state of one SPMD run. Under the in-process
+// transport all p ranks share one World; under a wire transport each
+// process holds its own World of size p with a single live rank, and the
+// transport keeps the rank-0 copy authoritative.
 type World struct {
-	p       int
-	model   CostModel
-	barrier *barrier
+	p         int
+	model     CostModel
+	transport Transport
 
 	slots   []any // per-rank deposit area for collectives
 	scratch any   // rank-0 deposit for computed aggregates
@@ -154,7 +157,6 @@ func newWorld(p int, model CostModel, trace *Trace) *World {
 		trace:     trace,
 		p:         p,
 		model:     model,
-		barrier:   newBarrier(p),
 		slots:     make([]any, p),
 		clocks:    make([]float64, p),
 		phases:    make([]string, p),
@@ -166,6 +168,7 @@ func newWorld(p int, model CostModel, trace *Trace) *World {
 		w.phaseTime[i] = make(map[string]float64)
 		w.phases[i] = "main"
 	}
+	w.transport = newInprocTransport(w, p)
 	return w
 }
 
@@ -250,6 +253,11 @@ func log2p(p int) float64 {
 // it may safely read data owned by other ranks; anything it returns must be
 // a copy, because deposited buffers belong to their owners again as soon as
 // sync returns.
+//
+// The checked preamble (sequence counting, signature posting, kill hooks)
+// runs here, on the calling rank, for every backend; the synchronization
+// itself — barrier-and-shared-memory in process, framed sockets across
+// processes — is the transport's Step.
 func (c *Comm) sync(op string, elemBytes int, deposit any, compute func() float64, consume func(scratch any) any) any {
 	w := c.w
 	if w.checked {
@@ -263,63 +271,10 @@ func (c *Comm) sync(op string, elemBytes int, deposit any, compute func() float6
 			h(c.rank, op, seq) // a panic here kills the rank
 		}
 	}
-	w.slots[c.rank] = deposit
-	w.barrier.wait(c.rank)
-	if c.rank == 0 {
-		if w.checked {
-			w.verifySigs() // does not return on mismatch
-		}
-		cost := compute()
-		if w.checked {
-			if s := w.hooks.CollectiveScale; s != nil {
-				cost *= s(op)
-			}
-		}
-		// Replay the step's logical messages through the unreliable
-		// network: retries stretch the step, a dead link fails the world.
-		var retry float64
-		if w.net != nil {
-			var nerr error
-			retry, nerr = w.netStep(op)
-			if nerr != nil {
-				w.fail(nerr)
-				panic(worldAbort{})
-			}
-		}
-		// BSP semantics: the step starts when the last rank arrives and
-		// costs the same on every rank.
-		start := 0.0
-		for _, t := range w.clocks {
-			if t > start {
-				start = t
-			}
-		}
-		end := start + cost
-		for i := range w.clocks {
-			dt := end + retry - w.clocks[i]
-			if w.trace != nil {
-				w.trace.add(Event{
-					Rank: i, Phase: w.phases[i], Op: op,
-					Start: w.clocks[i], End: end,
-				})
-				if retry > 0 {
-					w.trace.add(Event{
-						Rank: i, Phase: w.phases[i], Op: "retransmit",
-						Start: end, End: end + retry,
-					})
-				}
-			}
-			w.clocks[i] = end + retry
-			w.phaseTime[i][w.phases[i]] += dt
-		}
-	}
-	w.barrier.wait(c.rank)
-	var out any
-	if consume != nil {
-		out = consume(w.scratch)
-	}
-	w.barrier.wait(c.rank) // slots, scratch, and deposits may be reused after this
-	return out
+	return w.transport.Step(&StepState{
+		c: c, op: op, elemBytes: elemBytes,
+		deposit: deposit, compute: compute, consume: consume,
+	})
 }
 
 // verifySigs runs on rank 0 between the deposit and compute barriers of a
@@ -340,8 +295,8 @@ func (w *World) verifySigs() {
 	}
 }
 
-// fail records the world's first failure and poisons the barrier so every
-// rank unblocks. Later failures (secondary victims of the poisoning) are
+// fail records the world's first failure and cancels the transport so every
+// rank unblocks. Later failures (secondary victims of the cancellation) are
 // dropped: the first cause is the report.
 func (w *World) fail(err error) {
 	w.failMu.Lock()
@@ -350,7 +305,7 @@ func (w *World) fail(err error) {
 		close(w.failCh)
 	}
 	w.failMu.Unlock()
-	w.barrier.poison()
+	w.transport.Cancel(err)
 }
 
 // Barrier synchronizes all ranks, charging the latency of a log2(p)-deep

@@ -41,10 +41,34 @@ func lossesExperiment(cfg Config) error {
 
 	m := machine.Clemson32()
 	p, seeds, depth, iters := 16, 1500, uint8(8), 30
-	rates := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	// Each sweep point is a (drop, corrupt) pair; by default corruption
+	// rides along at a quarter of the drop rate to keep the checksum path
+	// honest.
+	type lossPoint struct{ drop, corrupt float64 }
+	points := []lossPoint{{0, 0}, {0.02, 0.005}, {0.05, 0.0125}, {0.1, 0.025}, {0.2, 0.05}}
 	if cfg.Quick {
 		p, seeds, depth, iters = 8, 200, 7, 8
-		rates = []float64{0, 0.1}
+		points = []lossPoint{{0, 0}, {0.1, 0.025}}
+	}
+	// The retransmit cap is the run's loss tolerance: a frame that fails
+	// cap+1 attempts declares its link dead. The sweep provisions the cap
+	// for its worst drop rate — the campaign offers ~10^6 frames, so the
+	// per-frame give-up probability drop^(cap+1) must be well under 1e-6.
+	// An undersized cap is demonstrated (and asserted) separately below.
+	retries := 16
+	// A -loss/-corrupt/-retry overlay from the CLI replaces the default
+	// ladder with the requested point (plus the lossless baseline). The
+	// ladder's monotonicity assertions assume the default rates, so a
+	// custom point keeps only the reliability and determinism checks.
+	custom := !cfg.Net.Empty()
+	if custom {
+		if err := cfg.Net.Validate(); err != nil {
+			return err
+		}
+		points = []lossPoint{{0, 0}, {cfg.Net.Loss, cfg.Net.Corrupt}}
+		if cfg.Net.Retry > 0 {
+			retries = cfg.Net.Retry
+		}
 	}
 	spec := CampaignSpec{
 		Machine: m, P: p, Kind: sfc.Hilbert,
@@ -91,21 +115,13 @@ func lossesExperiment(cfg Config) error {
 		}
 	}
 
-	// The retransmit cap is the run's loss tolerance: a frame that fails
-	// cap+1 attempts declares its link dead. The sweep provisions the cap
-	// for its worst drop rate — the campaign offers ~10^6 frames, so the
-	// per-frame give-up probability drop^(cap+1) must be well under 1e-6.
-	// An undersized cap is demonstrated (and asserted) separately below.
-	const sweepRetries = 16
-	runPoint := func(opti bool, drop float64, retries int) (outcome, error) {
+	runPoint := func(opti bool, pt lossPoint, retries int) (outcome, error) {
 		var out outcome
-		// Drops dominate the story; corruption rides along at a quarter of
-		// the drop rate to keep the checksum path honest.
-		plan := &fault.Plan{Net: fault.UniformLoss(cfg.Seed+7, drop, drop/4)}
+		plan := &fault.Plan{Net: fault.UniformLoss(cfg.Seed+7, pt.drop, pt.corrupt)}
 		plan.Net.Transport.MaxRetries = retries
 		st, err := fault.Run(p, m.CostModel(), plan, makeBody(opti, &out))
 		if err != nil {
-			return out, fmt.Errorf("losses: campaign at drop=%g failed: %w", drop, err)
+			return out, fmt.Errorf("losses: campaign at drop=%g failed: %w", pt.drop, err)
 		}
 		out.st = st
 		return out, nil
@@ -114,25 +130,26 @@ func lossesExperiment(cfg Config) error {
 	type strategy struct {
 		name string
 		opti bool
-		runs map[float64]outcome
+		runs map[lossPoint]outcome
 	}
 	strategies := []*strategy{
-		{name: "optipart-modeldriven", opti: true, runs: map[float64]outcome{}},
-		{name: "samplesort-equalweight", opti: false, runs: map[float64]outcome{}},
+		{name: "optipart-modeldriven", opti: true, runs: map[lossPoint]outcome{}},
+		{name: "samplesort-equalweight", opti: false, runs: map[lossPoint]outcome{}},
 	}
 
 	table := stats.NewTable(
 		fmt.Sprintf("matvec campaign under loss (%d ranks, %d octants, %d iters)", p, tree.Len(), iters),
-		"drop", "strategy", "Cmax", "retransmits", "retry-bytes", "dup", "time(s)", "slowdown")
+		"drop", "corrupt", "strategy", "Cmax", "retransmits", "retry-bytes", "dup", "time(s)", "slowdown")
 	for _, s := range strategies {
-		for _, rate := range rates {
-			out, err := runPoint(s.opti, rate, sweepRetries)
+		for _, pt := range points {
+			out, err := runPoint(s.opti, pt, retries)
 			if err != nil {
 				return err
 			}
-			s.runs[rate] = out
-			base := s.runs[rates[0]].st.Time()
-			table.Add(fmt.Sprintf("%g%%", rate*100), s.name, out.cmax,
+			s.runs[pt] = out
+			base := s.runs[points[0]].st.Time()
+			table.Add(fmt.Sprintf("%g%%", pt.drop*100), fmt.Sprintf("%g%%", pt.corrupt*100),
+				s.name, out.cmax,
 				out.st.TotalRetransmits(), out.st.TotalRetryBytes(),
 				out.st.TotalDuplicates(), out.st.Time(),
 				fmt.Sprintf("%.3fx", out.st.Time()/base))
@@ -142,40 +159,44 @@ func lossesExperiment(cfg Config) error {
 
 	// Assertions, in the order the transport's guarantees layer up.
 	for _, s := range strategies {
-		clean := s.runs[0]
+		clean := s.runs[points[0]]
 		if clean.st.TotalRetransmits() != 0 || clean.st.TotalRetryBytes() != 0 {
 			return fmt.Errorf("losses: %s retransmitted on a lossless network", s.name)
 		}
-		for _, rate := range rates[1:] {
-			lossy := s.runs[rate]
+		for _, pt := range points[1:] {
+			lossy := s.runs[pt]
 			// Reliable delivery means loss never changes the computation.
 			if lossy.moved != clean.moved || lossy.cmax != clean.cmax {
 				return fmt.Errorf("losses: %s computed different results under drop=%g (moved %d vs %d)",
-					s.name, rate, lossy.moved, clean.moved)
+					s.name, pt.drop, lossy.moved, clean.moved)
+			}
+			if custom {
+				continue // a user-chosen point may be too mild to retransmit
 			}
 			if lossy.st.TotalRetransmits() == 0 {
-				return fmt.Errorf("losses: %s saw no retransmissions at drop=%g", s.name, rate)
+				return fmt.Errorf("losses: %s saw no retransmissions at drop=%g", s.name, pt.drop)
 			}
 			if lossy.st.Time() <= clean.st.Time() {
-				return fmt.Errorf("losses: %s not slowed by drop=%g", s.name, rate)
+				return fmt.Errorf("losses: %s not slowed by drop=%g", s.name, pt.drop)
 			}
 		}
 		// Retransmitted traffic grows with the drop rate.
-		for i := 2; i < len(rates); i++ {
-			if s.runs[rates[i]].st.TotalRetryBytes() <= s.runs[rates[i-1]].st.TotalRetryBytes() {
+		for i := 2; i < len(points); i++ {
+			if s.runs[points[i]].st.TotalRetryBytes() <= s.runs[points[i-1]].st.TotalRetryBytes() {
 				return fmt.Errorf("losses: %s retry bytes not increasing in drop rate (%g vs %g)",
-					s.name, rates[i-1], rates[i])
+					s.name, points[i-1].drop, points[i].drop)
 			}
 		}
 	}
 
 	// Determinism regression: replaying a lossy point reproduces the
 	// timeline bit-exactly.
-	replay, err := runPoint(true, rates[len(rates)-1], sweepRetries)
+	worst := points[len(points)-1]
+	replay, err := runPoint(true, worst, retries)
 	if err != nil {
 		return err
 	}
-	first := strategies[0].runs[rates[len(rates)-1]]
+	first := strategies[0].runs[worst]
 	if replay.st.Time() != first.st.Time() ||
 		replay.st.TotalRetransmits() != first.st.TotalRetransmits() ||
 		replay.st.TotalBytes() != first.st.TotalBytes() {
@@ -187,25 +208,30 @@ func lossesExperiment(cfg Config) error {
 	// partition retransmits no more than the equal-weight baseline.
 	opti, samp := strategies[0], strategies[1]
 	fmt.Fprintf(cfg.Out, "\nretry cost at worst drop rate (%.0f%%): optipart %d bytes, samplesort %d bytes (%s)\n",
-		rates[len(rates)-1]*100,
-		opti.runs[rates[len(rates)-1]].st.TotalRetryBytes(),
-		samp.runs[rates[len(rates)-1]].st.TotalRetryBytes(),
-		stats.Pct(float64(samp.runs[rates[len(rates)-1]].st.TotalRetryBytes()),
-			float64(opti.runs[rates[len(rates)-1]].st.TotalRetryBytes())))
-	for _, rate := range rates[1:] {
-		or, sr := opti.runs[rate], samp.runs[rate]
+		worst.drop*100,
+		opti.runs[worst].st.TotalRetryBytes(),
+		samp.runs[worst].st.TotalRetryBytes(),
+		stats.Pct(float64(samp.runs[worst].st.TotalRetryBytes()),
+			float64(opti.runs[worst].st.TotalRetryBytes())))
+	if custom {
+		// The ladder assertions below assume the default sweep; a custom
+		// point has made its reliability and determinism cases already.
+		return nil
+	}
+	for _, pt := range points[1:] {
+		or, sr := opti.runs[pt], samp.runs[pt]
 		if or.st.TotalRetryBytes() > sr.st.TotalRetryBytes() {
 			return fmt.Errorf("losses: optipart retransmitted more than samplesort at drop=%g: %d > %d bytes",
-				rate, or.st.TotalRetryBytes(), sr.st.TotalRetryBytes())
+				pt.drop, or.st.TotalRetryBytes(), sr.st.TotalRetryBytes())
 		}
 		if or.st.Time() > sr.st.Time() {
 			return fmt.Errorf("losses: optipart slower than samplesort at drop=%g: %g > %g",
-				rate, or.st.Time(), sr.st.Time())
+				pt.drop, or.st.Time(), sr.st.Time())
 		}
 		// And the model agrees: PredictLossy with the smaller Cmax is the
 		// smaller prediction.
-		if machine.RetryInflation(rate, 0) <= 1 {
-			return fmt.Errorf("losses: RetryInflation(%g) not > 1", rate)
+		if machine.RetryInflation(pt.drop, 0) <= 1 {
+			return fmt.Errorf("losses: RetryInflation(%g) not > 1", pt.drop)
 		}
 	}
 
@@ -213,12 +239,11 @@ func lossesExperiment(cfg Config) error {
 	// retransmit cap must not hang and must not deliver wrong data — it
 	// escalates to a structured link failure naming the dead link, the
 	// trigger for the recovery-by-repartition path of the faults experiment.
-	worst := rates[len(rates)-1]
 	_, err = runPoint(true, worst, 1)
 	var lf *comm.LinkFailure
 	if !errors.As(err, &lf) {
-		return fmt.Errorf("losses: drop=%g with retransmit cap 1: want *comm.LinkFailure, got %w", worst, err)
+		return fmt.Errorf("losses: drop=%g with retransmit cap 1: want *comm.LinkFailure, got %w", worst.drop, err)
 	}
-	fmt.Fprintf(cfg.Out, "undersized tolerance (cap 1 at %.0f%% drop) escalates structurally: %v\n", worst*100, lf)
+	fmt.Fprintf(cfg.Out, "undersized tolerance (cap 1 at %.0f%% drop) escalates structurally: %v\n", worst.drop*100, lf)
 	return nil
 }

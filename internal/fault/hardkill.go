@@ -1,0 +1,42 @@
+package fault
+
+import (
+	"os"
+
+	"optipart/internal/comm"
+)
+
+// HardKill schedules a genuine process death for the multi-process runtime
+// (internal/net): where Kill panics inside a rank goroutine and unwinds
+// into a structured in-process teardown, HardKill terminates the whole OS
+// process at the rank's k-th collective — the moral equivalent of a SIGKILL
+// or node reclaim mid-step. Nothing is flushed and no goodbye frame is
+// sent; survivors in other processes observe the death only through the
+// transport's heartbeat monitor, which surfaces it as a *comm.RankFailure,
+// so the recovery-by-repartition path runs against a peer that is actually
+// gone rather than one simulating death.
+type HardKill struct {
+	Rank         int
+	AtCollective int
+}
+
+// HardKillStatus is the exit code a hard-killed worker dies with, so a
+// driver reaping the process can tell a scheduled death from an ordinary
+// crash or a clean exit.
+const HardKillStatus = 43
+
+// Hooks compiles the schedule into the runtime's intercept points. exit is
+// injectable for tests and defaults to os.Exit; it receives HardKillStatus
+// and must not return.
+func (k HardKill) Hooks(exit func(int)) comm.Hooks {
+	if exit == nil {
+		exit = os.Exit
+	}
+	return comm.Hooks{
+		BeforeCollective: func(rank int, op string, seq int) {
+			if rank == k.Rank && seq >= k.AtCollective {
+				exit(HardKillStatus)
+			}
+		},
+	}
+}

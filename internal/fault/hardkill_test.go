@@ -1,0 +1,51 @@
+package fault
+
+import "testing"
+
+// TestHardKillHooks pins the trigger condition: only the scheduled rank
+// exits, only once it reaches the scheduled collective, and the injected
+// exit receives the sentinel status.
+func TestHardKillHooks(t *testing.T) {
+	var codes []int
+	type exited struct{}
+	exit := func(code int) {
+		codes = append(codes, code)
+		panic(exited{}) // exit must not return; tests unwind instead
+	}
+	h := HardKill{Rank: 2, AtCollective: 3}.Hooks(exit)
+	if h.BeforeCollective == nil {
+		t.Fatal("HardKill.Hooks installed no BeforeCollective hook")
+	}
+
+	// Other ranks never die, and the victim survives earlier collectives.
+	h.BeforeCollective(1, "allreduce", 5)
+	h.BeforeCollective(0, "bcast", 3)
+	h.BeforeCollective(2, "allreduce", 2)
+	if len(codes) != 0 {
+		t.Fatalf("exit fired prematurely: %v", codes)
+	}
+
+	fire := func(seq int) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(exited); !ok {
+					panic(r)
+				}
+			}
+		}()
+		h.BeforeCollective(2, "allgather", seq)
+		t.Fatalf("victim reached collective %d without exiting", seq)
+	}
+	fire(3)
+	fire(7) // >= AtCollective keeps firing: the process would already be gone
+	if len(codes) != 2 || codes[0] != HardKillStatus || codes[1] != HardKillStatus {
+		t.Fatalf("exit codes = %v, want two %d", codes, HardKillStatus)
+	}
+}
+
+// TestHardKillDefaultExit covers the nil-exit default without dying: the
+// hook built with nil must be callable for non-matching ranks.
+func TestHardKillDefaultExit(t *testing.T) {
+	h := HardKill{Rank: 1, AtCollective: 0}.Hooks(nil)
+	h.BeforeCollective(0, "allreduce", 0) // would os.Exit(43) on rank 1
+}

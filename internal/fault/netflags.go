@@ -1,0 +1,51 @@
+package fault
+
+import "fmt"
+
+// LossFlags is the -loss/-corrupt/-retry flag triple shared by the CLIs
+// (cmd/optipart, cmd/experiments): one validation and one compilation to a
+// NetPlan, so the two front ends cannot drift. The zero value requests no
+// network overlay.
+type LossFlags struct {
+	Loss    float64 // per-frame drop rate in [0,1] on every link
+	Corrupt float64 // per-frame corruption rate in [0,1] on every link
+	Retry   int     // retransmit cap per message (0 = transport default)
+}
+
+// Empty reports whether the flags request no network overlay.
+func (f LossFlags) Empty() bool { return f.Loss == 0 && f.Corrupt == 0 && f.Retry == 0 }
+
+// Validate range-checks the flag values, failing with a usable message
+// before any goroutines start.
+func (f LossFlags) Validate() error {
+	if f.Loss < 0 || f.Loss > 1 {
+		return fmt.Errorf("-loss %g: drop rate must be in [0,1]", f.Loss)
+	}
+	if f.Corrupt < 0 || f.Corrupt > 1 {
+		return fmt.Errorf("-corrupt %g: corruption rate must be in [0,1]", f.Corrupt)
+	}
+	if f.Retry < 0 {
+		return fmt.Errorf("-retry %d: retransmit cap must be >= 0", f.Retry)
+	}
+	if f.Retry != 0 && f.Loss == 0 && f.Corrupt == 0 {
+		return fmt.Errorf("-retry %d: needs -loss or -corrupt to matter", f.Retry)
+	}
+	return nil
+}
+
+// Plan compiles the flags into a validated NetPlan for a p-rank world, or
+// nil when the flags request no lossy wire.
+func (f LossFlags) Plan(seed int64, p int) (*NetPlan, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if f.Loss == 0 && f.Corrupt == 0 {
+		return nil, nil
+	}
+	np := UniformLoss(seed, f.Loss, f.Corrupt)
+	np.Transport.MaxRetries = f.Retry
+	if err := np.Validate(p); err != nil {
+		return nil, err
+	}
+	return np, nil
+}

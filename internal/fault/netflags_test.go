@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLossFlagsValidate pins the shared CLI validation: the same triple is
+// parsed by cmd/optipart and cmd/experiments, so the checks live here once.
+func TestLossFlagsValidate(t *testing.T) {
+	good := []LossFlags{
+		{},
+		{Loss: 0.1},
+		{Corrupt: 0.02},
+		{Loss: 1, Corrupt: 1, Retry: 16},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", f, err)
+		}
+	}
+	bad := []struct {
+		f    LossFlags
+		frag string
+	}{
+		{LossFlags{Loss: 1.5}, "must be in [0,1]"},
+		{LossFlags{Loss: -0.1}, "must be in [0,1]"},
+		{LossFlags{Corrupt: 2}, "must be in [0,1]"},
+		{LossFlags{Loss: 0.1, Retry: -1}, "must be >= 0"},
+		{LossFlags{Retry: 4}, "needs -loss or -corrupt"},
+	}
+	for _, tc := range bad {
+		if err := tc.f.Validate(); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", tc.f, err, tc.frag)
+		}
+	}
+}
+
+// TestLossFlagsPlan: empty flags compile to no plan, lossy flags to a
+// validated UniformLoss plan carrying the retry cap.
+func TestLossFlagsPlan(t *testing.T) {
+	if np, err := (LossFlags{}).Plan(1, 8); err != nil || np != nil {
+		t.Fatalf("empty flags: plan = %v, %v, want nil, nil", np, err)
+	}
+	np, err := LossFlags{Loss: 0.1, Corrupt: 0.02, Retry: 6}.Plan(1, 8)
+	if err != nil || np == nil || np.Empty() {
+		t.Fatalf("lossy flags: plan = %v, %v", np, err)
+	}
+	if np.Transport.MaxRetries != 6 {
+		t.Fatalf("retry cap not carried: %d", np.Transport.MaxRetries)
+	}
+	if err := np.Validate(8); err != nil {
+		t.Fatalf("compiled plan invalid: %v", err)
+	}
+	if _, err := (LossFlags{Loss: 2}).Plan(1, 8); err == nil {
+		t.Fatal("out-of-range loss compiled")
+	}
+}
+
+// TestLossFlagsEmpty distinguishes "no overlay" from "retry-only", which
+// Validate rejects rather than silently ignoring.
+func TestLossFlagsEmpty(t *testing.T) {
+	if !(LossFlags{}).Empty() {
+		t.Fatal("zero value not empty")
+	}
+	for _, f := range []LossFlags{{Loss: 0.1}, {Corrupt: 0.1}, {Retry: 1}} {
+		if f.Empty() {
+			t.Fatalf("%+v reported empty", f)
+		}
+	}
+}

@@ -28,7 +28,7 @@ var CostAccounting = &Analyzer{
 }
 
 func runCostAccounting(p *Pass) {
-	if !isLibraryPkg(p.Path) || isCommPkg(p.Path) || isLintPkg(p.Path) {
+	if !isLibraryPkg(p.Path) || isCommPkg(p.Path) || isNetPkg(p.Path) || isLintPkg(p.Path) {
 		return
 	}
 	for _, f := range p.Files {

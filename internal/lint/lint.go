@@ -267,6 +267,15 @@ func isCommPkg(path string) bool { return strings.HasSuffix(path, "internal/comm
 // one place outside comm allowed to spawn goroutines.
 func isParPkg(path string) bool { return strings.HasSuffix(path, "internal/par") }
 
+// isNetPkg matches internal/net, the real wire transport. Its sockets,
+// goroutines, deadlines, and wall clocks are the genuine article — the
+// package exists to move bytes between processes and to measure real time
+// (heartbeats, backoff, calibration) — so the simulation-purity rules
+// (costaccounting, nondeterminism) do not apply there. The seam keeps the
+// model honest anyway: everything internal/net carries re-enters the world
+// through comm.StepState, where the BSP clocks and Stats are charged.
+func isNetPkg(path string) bool { return strings.HasSuffix(path, "internal/net") }
+
 func isLintPkg(path string) bool {
 	return strings.Contains(path, "internal/lint") && !strings.Contains(path, "lintfixture")
 }

@@ -204,6 +204,22 @@ func TestParPoolExemption(t *testing.T) {
 	}
 }
 
+// TestNetExemption pins the internal/net carve-out of the simulation-purity
+// rules: the wire transport package may read wall clocks, spawn reader
+// goroutines, and move bytes through channels (no //lint:ignore needed),
+// while identical code anywhere else is flagged by nondeterminism and
+// costaccounting alike.
+func TestNetExemption(t *testing.T) {
+	checkSilent(t, "internal/net")
+	res := checkFixture(t, "netbad")
+	if n := ruleCount(res, "nondeterminism"); n < 3 {
+		t.Errorf("netbad: %d nondeterminism findings, want at least 3", n)
+	}
+	if n := ruleCount(res, "costaccounting"); n < 3 {
+		t.Errorf("netbad: %d costaccounting findings, want at least 3", n)
+	}
+}
+
 // TestSuppressions pins the directive semantics: a reasoned directive
 // (standalone or trailing) silences exactly its rule on its target line and
 // appears in the audit list; a reason-less or unknown-rule directive is
@@ -254,7 +270,7 @@ func TestSuppressions(t *testing.T) {
 // diagnostic across all fixtures against testdata/positions.golden. Run with
 // UPDATE_LINT_GOLDEN=1 to regenerate after editing fixtures.
 func TestFixturePositions(t *testing.T) {
-	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "suppress"}
+	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "netbad", "suppress"}
 	l := fixtureLoader(t)
 	srcRoot := filepath.Join(l.ModRoot, "internal", "lint", "testdata", "src")
 	var lines []string

@@ -36,7 +36,7 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
 
 func runNondeterminism(p *Pass) {
-	if !isLibraryPkg(p.Path) || isLintPkg(p.Path) {
+	if !isLibraryPkg(p.Path) || isLintPkg(p.Path) || isNetPkg(p.Path) {
 		return
 	}
 	for _, f := range p.Files {

@@ -1,0 +1,39 @@
+// Package netbad performs the same wall-clock reads, channel traffic,
+// goroutine spawns, and map-order accumulation as the internal/net fixture,
+// but under an ordinary library path: every construct here must be flagged,
+// proving the internal/net exemption is scoped to that path and does not
+// leak to the rest of the library.
+package netbad
+
+import (
+	"sync"
+	"time"
+)
+
+type watcher struct {
+	mu       sync.Mutex
+	lastSeen map[int]time.Time
+}
+
+func (w *watcher) sweep(timeout time.Duration) []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := time.Now() // want "time.Now reads the wall clock"
+	var dead []int
+	for rank, seen := range w.lastSeen {
+		if now.Sub(seen) >= timeout {
+			dead = append(dead, rank) // want "append in range over map collects in random key order"
+		}
+	}
+	return dead
+}
+
+func pump(frames [][]byte) {
+	ch := make(chan []byte, 8) // want "make.chan. outside internal/comm"
+	go func() {                // want "goroutine outside the comm runtime"
+		for f := range frames {
+			ch <- frames[f] // want "channel send outside internal/comm"
+		}
+	}()
+	<-ch // want "channel receive outside internal/comm"
+}

@@ -1,0 +1,151 @@
+package net
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"optipart/internal/comm"
+)
+
+// Calibration replaces the machine table's assumed constants with values
+// measured on the deployment itself, the practice arXiv:2008.00832 argues
+// for: the partition model is only as machine-aware as its tc/ts/tw.
+//
+//	ts — half the median round-trip of an empty frame to each worker:
+//	     one message each way, so RTT ≈ 2·ts.
+//	tw — the marginal per-byte cost: (RTT_large − RTT_empty) / (2·bytes),
+//	     measured with a payload large enough to dominate latency noise.
+//	tc — seconds per byte of a local streaming pass over a buffer far
+//	     larger than L2, the same "memory slowness" the paper's Table 1
+//	     reports.
+//
+// Calibrate runs on the root between WaitReady and Announce, so every rank
+// receives the same measured model in its welcome and model-driven
+// decisions stay rank-identical by construction.
+
+// CalibrateOptions tunes the probe; the zero value means defaults.
+type CalibrateOptions struct {
+	Rounds     int // echo round-trips per worker per payload size (default 16)
+	LargeBytes int // payload of the bandwidth probe (default 256 KiB)
+	SweepBytes int // buffer of the local memory sweep (default 8 MiB)
+}
+
+func (o CalibrateOptions) withDefaults() CalibrateOptions {
+	if o.Rounds <= 0 {
+		o.Rounds = 16
+	}
+	if o.LargeBytes <= 0 {
+		o.LargeBytes = 256 << 10
+	}
+	if o.SweepBytes <= 0 {
+		o.SweepBytes = 8 << 20
+	}
+	return o
+}
+
+// Calibrate measures ts/tw over the live links and tc locally, returning a
+// cost model ready for Announce. With p == 1 the network terms are zero.
+func (r *Root) Calibrate(opts CalibrateOptions) (comm.CostModel, error) {
+	opts = opts.withDefaults()
+	model := comm.CostModel{Tc: measureTc(opts.SweepBytes)}
+	if r.p == 1 {
+		return model, nil
+	}
+	empty, err := r.echoMedians(opts.Rounds, nil)
+	if err != nil {
+		return model, err
+	}
+	large, err := r.echoMedians(opts.Rounds, make([]byte, opts.LargeBytes))
+	if err != nil {
+		return model, err
+	}
+	// The model's collectives pay for the slowest participant, so the
+	// calibrated constants take the worst link's medians.
+	var worstEmpty, worstLarge float64
+	for rank := 1; rank < r.p; rank++ {
+		if empty[rank] > worstEmpty {
+			worstEmpty = empty[rank]
+		}
+		if large[rank] > worstLarge {
+			worstLarge = large[rank]
+		}
+	}
+	model.Ts = worstEmpty / 2
+	if tw := (worstLarge - worstEmpty) / (2 * float64(opts.LargeBytes)); tw > 0 {
+		model.Tw = tw
+	}
+	return model, nil
+}
+
+// echoMedians round-trips payload to every worker rounds times and returns
+// the median RTT per rank, in seconds.
+func (r *Root) echoMedians(rounds int, payload []byte) ([]float64, error) {
+	med := make([]float64, r.p)
+	nonce := uint64(1)
+	for rank := 1; rank < r.p; rank++ {
+		r.mu.Lock()
+		l := r.links[rank]
+		r.mu.Unlock()
+		if l == nil {
+			return nil, fmt.Errorf("net: calibrate: rank %d not joined", rank)
+		}
+		samples := make([]float64, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			nonce++
+			start := time.Now()
+			if err := l.write(&Frame{Type: fCalReq, Src: 0, Seq: nonce, Payload: payload}); err != nil {
+				return nil, fmt.Errorf("net: calibrate rank %d: %w", rank, err)
+			}
+			if err := r.awaitEcho(rank, nonce); err != nil {
+				return nil, err
+			}
+			samples = append(samples, time.Since(start).Seconds())
+		}
+		slices.Sort(samples)
+		med[rank] = samples[len(samples)/2]
+	}
+	return med, nil
+}
+
+func (r *Root) awaitEcho(rank int, nonce uint64) error {
+	timer := time.NewTimer(r.opts.IOTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case f := <-r.calCh:
+			if int(f.Src) == rank && f.Seq == nonce {
+				return nil
+			}
+			// a stale echo from an earlier round; keep draining
+		case <-timer.C:
+			return fmt.Errorf("net: calibrate: rank %d echo %d timed out", rank, nonce)
+		case <-r.stop:
+			return fmt.Errorf("net: calibrate: transport closed")
+		}
+	}
+}
+
+// measureTc times streaming passes over a buffer much larger than cache
+// and returns the best (least-interrupted) seconds-per-byte observed.
+func measureTc(sweepBytes int) float64 {
+	buf := make([]byte, sweepBytes)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	best := 0.0
+	var sink uint64
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		var acc uint64
+		for _, b := range buf {
+			acc += uint64(b)
+		}
+		sink += acc
+		if t := time.Since(start).Seconds() / float64(sweepBytes); best == 0 || t < best {
+			best = t
+		}
+	}
+	_ = sink
+	return best
+}

@@ -1,0 +1,221 @@
+package net
+
+import (
+	"fmt"
+	stdnet "net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options tunes the wire transport. The zero value means defaults, chosen
+// so a loopback CI world detects a killed worker well inside a one-minute
+// deadline while tolerating multi-second GC or scheduler pauses.
+type Options struct {
+	// DialTimeout bounds one connection attempt.
+	DialTimeout time.Duration
+	// IOTimeout is the per-operation read/write deadline on an established
+	// connection. Reads renew it on every frame; heartbeats guarantee
+	// frames keep flowing even when the world is between collectives.
+	IOTimeout time.Duration
+	// HeartbeatInterval is how often the root pings each worker (and the
+	// longest a healthy link stays silent).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer may stay silent before it is
+	// declared dead. Must exceed HeartbeatInterval by enough slack to
+	// absorb scheduling noise; the default is 10 intervals.
+	HeartbeatTimeout time.Duration
+	// MaxRetries caps reconnect attempts after a broken connection before
+	// the link escalates to a structured failure.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the exponential reconnect backoff.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the deterministic backoff jitter.
+	JitterSeed int64
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultDialTimeout       = 5 * time.Second
+	DefaultIOTimeout         = 10 * time.Second
+	DefaultHeartbeatInterval = 200 * time.Millisecond
+	DefaultMaxRetries        = 5
+	DefaultBackoffBase       = 50 * time.Millisecond
+	DefaultBackoffMax        = 2 * time.Second
+)
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = DefaultIOTimeout
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * o.HeartbeatInterval
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	return o
+}
+
+// splitmix64 is the same seeded mixer the simulated transport uses for
+// deterministic jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Backoff computes exponential reconnect delays with deterministic jitter:
+// attempt k (0-based) waits base·2^k, capped at max, stretched by up to 25%
+// by a jitter drawn from the seed and attempt number alone. Determinism
+// makes backoff schedules assertable in unit tests — same seed, same
+// delays — while still decorrelating real fleets, which each seed from
+// their rank.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Jitter int64 // seed; 0 means no jitter
+}
+
+// Delay returns the wait before reconnect attempt k (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter != 0 {
+		h := splitmix64(uint64(b.Jitter) + uint64(attempt)*0x9e3779b97f4a7c15)
+		frac := float64(h>>11) / float64(1<<53) // uniform [0, 1)
+		d += time.Duration(frac * 0.25 * float64(d))
+	}
+	return d
+}
+
+// Network/address parsing: endpoints are written "unix:/path/sock" or
+// "tcp:host:port" ("tcp:" defaults the host to loopback).
+func splitEndpoint(ep string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(ep, "unix:"):
+		return "unix", ep[len("unix:"):], nil
+	case strings.HasPrefix(ep, "tcp:"):
+		addr = ep[len("tcp:"):]
+		if strings.HasPrefix(addr, ":") {
+			addr = "127.0.0.1" + addr
+		}
+		return "tcp", addr, nil
+	}
+	return "", "", fmt.Errorf("net: endpoint %q is not unix:/path or tcp:host:port", ep)
+}
+
+// link is one framed connection with per-operation deadlines and a write
+// lock (steps and heartbeat replies write from different goroutines).
+type link struct {
+	opts Options
+
+	mu   sync.Mutex // guards conn swaps on reconnect
+	conn stdnet.Conn
+
+	wmu  sync.Mutex // serializes writers
+	wbuf []byte     // reusable encode buffer
+}
+
+func newLink(conn stdnet.Conn, opts Options) *link {
+	return &link{opts: opts, conn: conn}
+}
+
+func (l *link) current() stdnet.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+// replace installs a reconnected conn and closes the old one.
+func (l *link) replace(conn stdnet.Conn) {
+	l.mu.Lock()
+	old := l.conn
+	l.conn = conn
+	l.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+func (l *link) close() {
+	if c := l.current(); c != nil {
+		c.Close()
+	}
+}
+
+// write frames f to the current conn under the write deadline.
+func (l *link) write(f *Frame) error {
+	c := l.current()
+	if c == nil {
+		return fmt.Errorf("net: link closed")
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	buf, err := AppendFrame(l.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	l.wbuf = buf
+	if err := c.SetWriteDeadline(time.Now().Add(l.opts.IOTimeout)); err != nil {
+		return err
+	}
+	_, err = c.Write(buf)
+	return err
+}
+
+// writeRaw writes an already-encoded frame to the current conn under the
+// write deadline — the path for frames encoded once and sent (or replayed)
+// to many peers.
+func (l *link) writeRaw(buf []byte) error {
+	c := l.current()
+	if c == nil {
+		return fmt.Errorf("net: link closed")
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := c.SetWriteDeadline(time.Now().Add(l.opts.IOTimeout)); err != nil {
+		return err
+	}
+	_, err := c.Write(buf)
+	return err
+}
+
+// read reads one frame from the current conn under the read deadline.
+func (l *link) read() (*Frame, error) {
+	c := l.current()
+	if c == nil {
+		return nil, fmt.Errorf("net: link closed")
+	}
+	if err := c.SetReadDeadline(time.Now().Add(l.opts.IOTimeout)); err != nil {
+		return nil, err
+	}
+	return ReadFrame(c)
+}
+
+// isTimeout reports whether err is a deadline expiry rather than a broken
+// connection — the read loop treats expiry as "still waiting" and lets the
+// heartbeat monitor decide liveness.
+func isTimeout(err error) bool {
+	ne, ok := err.(stdnet.Error)
+	return ok && ne.Timeout()
+}

@@ -36,6 +36,7 @@ import (
 	"optipart/internal/fem"
 	"optipart/internal/machine"
 	"optipart/internal/mesh"
+	wnet "optipart/internal/net"
 	"optipart/internal/octree"
 	"optipart/internal/par"
 	"optipart/internal/partition"
@@ -181,6 +182,48 @@ func RunChecked(p int, m Machine, f func(c *Comm) error) (*Stats, error) {
 // any payload.
 func RunWithFaults(p int, m Machine, plan *FaultPlan, f func(c *Comm) error) (*Stats, error) {
 	return fault.Run(p, m.CostModel(), plan, f)
+}
+
+// Multi-process deployment. The SPMD world runs over a pluggable Transport:
+// the default backend schedules every rank as a goroutine in one process
+// (bit-identical to the golden transcripts), while the wire backend
+// (internal/net) runs each rank in its own OS process over unix or TCP
+// sockets — length-prefixed checksummed frames, reconnect with exponential
+// backoff that escalates to *LinkFailure, and heartbeat failure detection
+// that surfaces genuinely dead peers as *RankFailure. A WireRoot listens
+// and hosts rank 0; each WireWorker process dials in, learns the cost
+// model from the root's welcome, and joins the world via RunRank. See
+// cmd/optipartd for the ready-made worker/driver binary.
+type (
+	CostModel        = comm.CostModel
+	Transport        = comm.Transport
+	CheckedOptions   = comm.CheckedOptions
+	WireOptions      = wnet.Options
+	WireRoot         = wnet.Root
+	WireWorker       = wnet.Worker
+	CalibrateOptions = wnet.CalibrateOptions
+	HardKill         = fault.HardKill
+)
+
+// ListenRoot binds the root transport of a p-rank wire world on endpoint
+// ("unix:/path/to.sock" or "tcp:host:port"). The caller hosts rank 0:
+// WaitReady for the other ranks, optionally Calibrate, Announce the model,
+// then RunRank(0, ...) with the root as the transport.
+func ListenRoot(endpoint string, p int, opts WireOptions) (*WireRoot, error) {
+	return wnet.NewRoot(endpoint, p, opts)
+}
+
+// DialRoot connects one worker rank (1 <= rank < p) to a listening root
+// and blocks until the root announces the world's cost model; run the rank
+// program with RunRank and the returned worker as the transport.
+func DialRoot(endpoint string, rank, p int, opts WireOptions) (*WireWorker, error) {
+	return wnet.Dial(endpoint, rank, p, opts)
+}
+
+// RunRank executes this process's one rank of a p-rank world over the
+// given transport — the per-process counterpart of RunChecked.
+func RunRank(rank, p int, model CostModel, t Transport, opts CheckedOptions, f func(c *Comm) error) (*Stats, error) {
+	return comm.RunRank(rank, p, model, t, opts, f)
 }
 
 // Trace is a per-rank virtual timeline of a traced run.

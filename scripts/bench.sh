@@ -6,10 +6,12 @@
 # carries its speedup and allocation ratio. A second pass runs the
 # worker-pool serial-vs-parallel benches (TreeSortLarge, PartitionE2E at
 # widths 1/4/GOMAXPROCS) into BENCH_5.json against
-# scripts/bench_baseline_5.txt.
+# scripts/bench_baseline_5.txt. A third pass re-runs the worker benches
+# together with the wire round-trip microbenches (in-process vs unix vs TCP
+# loopback, internal/net) into BENCH_6.json.
 #
-#   ./scripts/bench.sh                    # writes BENCH_3.json and BENCH_5.json
-#   ./scripts/bench.sh a.json b.json      # write elsewhere
+#   ./scripts/bench.sh                     # writes BENCH_3/5/6.json
+#   ./scripts/bench.sh a.json b.json c.json # write elsewhere
 #
 # To re-record the worker baseline on a new host, pin the widths first:
 #   OPTIPART_BENCH_WORKERS=1,4 go test -run '^$' \
@@ -19,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_3.json}
 out5=${2:-BENCH_5.json}
+out6=${3:-BENCH_6.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -43,3 +46,12 @@ go run ./cmd/benchfmt -baseline scripts/bench_baseline_5.txt -out "$out5" \
     -note "worker-pool record: each entry runs the whole kernel at the width in its name (SetWorkers); workers=1 is byte-for-byte the serial code path of the pre-pool implementation, so its speedup-vs-baseline is the no-regression gate. Baseline captured on a GOMAXPROCS=1 host, where all widths are wall-clock-equivalent by design (the pool never oversubscribes); on a >=4-core host expect TreeSortLarge/workers=4 at >=1.8x over workers=1. Results and modeled costs are identical at every width." \
     "$tmp/workers.txt"
 go run ./cmd/benchfmt -check "$out5"
+
+echo "==> wire round-trip microbenchmarks (in-process vs unix vs TCP loopback)"
+go test -run '^$' -bench 'RoundTrip' -benchmem ./internal/net | tee "$tmp/wire.txt"
+
+echo "==> formatting $out6"
+go run ./cmd/benchfmt -baseline scripts/bench_baseline_5.txt -out "$out6" \
+    -note "PR 6 record: the PR 5 worker-pool benches re-run (paired against scripts/bench_baseline_5.txt) plus the wire round-trip microbenches. RoundTrip* measures one two-rank 8-byte allreduce per op — Inproc is the default single-process backend (barrier only), Unix/TCP are the real multi-process transport (frame encode + FNV checksum + gob + socket round trip + result broadcast), so the gap is the true per-collective cost of leaving the process. Host caveat: this capture also ran on a GOMAXPROCS=1 host, so the workers=N parallel speedups remain unproven here; on a >=4-core host expect TreeSortLarge/workers=4 at >=1.8x over workers=1." \
+    "$tmp/workers.txt" "$tmp/wire.txt"
+go run ./cmd/benchfmt -check "$out6"

@@ -45,8 +45,30 @@ echo "==> hot-path benchmark smoke"
 go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
 go test -run '^$' -bench 'Transport' -benchtime 1x ./internal/comm
 
-echo "==> BENCH_3.json / BENCH_5.json parse"
+echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json parse"
 go run ./cmd/benchfmt -check BENCH_3.json
 go run ./cmd/benchfmt -check BENCH_5.json
+go run ./cmd/benchfmt -check BENCH_6.json
+
+echo "==> optipartd multi-process smoke (4 ranks, kill one, recover)"
+# Hermetic: workers rendezvous over unix sockets in a private temp dir, no
+# ports and no network assumptions. The driver hosts rank 0, spawns 3 worker
+# processes, hard-kills rank 2 at its 3rd collective (a real os.Exit,
+# detected by heartbeat), and must finish the repartition onto the 3
+# survivors within the deadline — a hang here is a failed gate, not a stuck
+# CI job.
+smokedir=$(mktemp -d)
+go build -o "$smokedir/optipartd" ./cmd/optipartd
+smokelog="$smokedir/smoke.log"
+if ! "$smokedir/optipartd" -launch -p 4 -n 6000 -kill 2@3 -deadline 90s \
+        -socket "$smokedir" >"$smokelog" 2>&1; then
+    echo "optipartd smoke failed:" >&2
+    cat "$smokelog" >&2
+    rm -rf "$smokedir"
+    exit 1
+fi
+grep -q "structured failure as expected" "$smokelog"
+grep -q "recovery on 3 survivors completed" "$smokelog"
+rm -rf "$smokedir"
 
 echo "CI OK"
