@@ -10,13 +10,17 @@
 //	optipartd -connect unix:/tmp/opt.sock -rank 2 -p 4 # worker: one rank
 //	optipartd -launch -p 4 -kill 2@3                   # driver: full demo
 //
-// The driver is the recovery-by-repartition demo from the issue: it hosts
-// rank 0, launches p-1 local worker processes over a private unix socket,
-// and schedules one of them to exit(43) mid-campaign — a genuine process
-// death, detected by heartbeat. Phase 1 must fail with a *RankFailure
-// naming the victim; phase 2 then repartitions the same workload onto the
-// p-1 survivors (renumbered, fresh socket) and must complete within
-// -deadline.
+// The driver demos both failure policies. Under -on-failure=degrade (the
+// default) phase 1 hard-kills the victim mid-campaign, which must surface
+// as a *RankFailure naming it, and phase 2 repartitions the same workload
+// onto the p-1 survivors within -deadline. Under -on-failure=restore the
+// world instead self-heals: rank 0 runs a checkpointed multi-step campaign
+// (-steps), snapshotting the settled placement to -ckpt each step; a
+// supervisor watches the worker processes and respawns the dead one under a
+// backoff budget; the replacement restores from the latest snapshot,
+// rejoins with a higher incarnation number, is replayed the results it
+// missed, and the campaign must finish with the exact digest of a
+// fault-free run.
 //
 // -calibrate makes the root measure ts/tw over the live links and tc from
 // a local memory sweep (optipart.CalibrateOptions) and announce the
@@ -26,7 +30,10 @@
 // ranks decide identically.
 //
 // A worker receiving SIGTERM drains gracefully: it announces its departure
-// to the root, closes the link, and exits 0.
+// to the root, closes the link, and exits 0. A root (or driver) receiving
+// SIGTERM/SIGINT announces an orderly shutdown to every worker — they exit
+// 0 on the structured *ShutdownError — and the driver reaps its children
+// before exiting.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -61,6 +69,11 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "root/driver mode: measure ts/tw/tc over the live transport and announce the measured model")
 		hardkill  = flag.Int("hardkill", -1, "worker mode: exit(43) at this rank's k-th collective (fault injection; -1 = never)")
 
+		onFailure   = flag.String("on-failure", "degrade", "root/driver mode: worker-death policy: degrade (fail over to survivors) or restore (respawn + rejoin from checkpoint)")
+		steps       = flag.Int("steps", 0, "campaign mode: refinement steps (0 = the classic single-partition body)")
+		ckptDir     = flag.String("ckpt", "", "campaign mode: directory for checkpoint snapshots (driver default: <socket dir>/ckpt)")
+		incarnation = flag.Uint64("incarnation", 0, "worker mode: incarnation number of a respawned worker (0 = fresh; >0 restores from -ckpt)")
+
 		n        = flag.Int("n", 100000, "total number of elements across all ranks")
 		seed     = flag.Int64("seed", 1, "RNG seed (rank r draws from seed+r)")
 		machine  = flag.String("machine", "Clemson-32", "machine model: Titan, Stampede, Clemson-32, Wisconsin-8")
@@ -75,6 +88,7 @@ func main() {
 	pr := program{
 		n: *n, seed: *seed, machineName: *machine, curveName: *curveArg,
 		modeName: *mode, distName: *dist, tol: *tol, alpha: *alpha,
+		steps: *steps,
 	}
 	if _, _, _, _, err := pr.parse(); err != nil {
 		fatal(err)
@@ -82,21 +96,52 @@ func main() {
 	if *p < 1 {
 		fatal(fmt.Errorf("-p %d: need at least one rank", *p))
 	}
+	policy, err := optipart.ParseFailurePolicy(*onFailure)
+	if err != nil {
+		fatal(err)
+	}
 
-	var err error
 	switch {
 	case *launch:
-		err = driverMain(pr, *p, *kill, *socket, *deadline, *calibrate)
+		installRootSignals()
+		err = driverMain(pr, *p, *kill, *socket, *deadline, *calibrate, policy, *ckptDir)
 	case *listen != "":
-		err = rootMain(pr, *listen, *p, *calibrate)
+		installRootSignals()
+		err = rootMain(pr, *listen, *p, *calibrate, policy, *ckptDir)
 	case *connect != "":
-		err = workerMain(pr, *connect, *rank, *p, *hardkill)
+		err = workerMain(pr, *connect, *rank, *p, *hardkill, *ckptDir, *incarnation)
 	default:
 		err = errors.New("pick a mode: -launch, -listen, or -connect (see -help)")
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// activeRoot is the live wire root of this process (root and driver modes),
+// so the signal handler can announce an orderly shutdown; stopping tells
+// the supervisor the operator asked us to go down and deaths are expected.
+var (
+	activeRoot atomic.Pointer[optipart.WireRoot]
+	stopping   atomic.Bool
+)
+
+// installRootSignals makes SIGTERM/SIGINT announce shutdown to the workers
+// (they exit 0 on the structured *ShutdownError) instead of vanishing and
+// sending every worker into reconnect backoff.
+func installRootSignals() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		stopping.Store(true)
+		fmt.Fprintf(os.Stderr, "optipartd: %v: announcing shutdown to workers\n", sig)
+		if rt := activeRoot.Load(); rt != nil {
+			rt.Shutdown(fmt.Sprintf("operator sent %v", sig))
+		} else {
+			os.Exit(130)
+		}
+	}()
 }
 
 // program is the rank program every process runs: the same flags must reach
@@ -107,6 +152,7 @@ type program struct {
 	seed                                       int64
 	machineName, curveName, modeName, distName string
 	tol, alpha                                 float64
+	steps                                      int
 }
 
 func (pr program) parse() (optipart.Machine, *optipart.Curve, optipart.Mode, optipart.Distribution, error) {
@@ -162,11 +208,12 @@ func (pr program) forward() []string {
 		"-dist", pr.distName,
 		"-tol", strconv.FormatFloat(pr.tol, 'g', -1, 64),
 		"-alpha", strconv.FormatFloat(pr.alpha, 'g', -1, 64),
+		"-steps", strconv.Itoa(pr.steps),
 	}
 }
 
-// body builds the rank function for a p-rank world. When out is non-nil,
-// rank 0 stores its partition result there.
+// body builds the classic single-partition rank function for a p-rank
+// world. When out is non-nil, rank 0 stores its partition result there.
 func (pr program) body(p int, out **optipart.Result) (func(c *optipart.Comm) error, error) {
 	m, curve, pmode, d, err := pr.parse()
 	if err != nil {
@@ -189,9 +236,45 @@ func (pr program) body(p int, out **optipart.Result) (func(c *optipart.Comm) err
 	}, nil
 }
 
-// workerMain runs one non-root rank: dial, learn the model from the
-// welcome, run the rank program, report how the world ended.
-func workerMain(pr program, endpoint string, rank, p, hardkill int) error {
+// campaignOpts renders the program into checkpointed-campaign options
+// (Saver/Checkpointer are wired in by the caller that owns them).
+func (pr program) campaignOpts(p int) (optipart.CampaignOptions, error) {
+	m, curve, pmode, d, err := pr.parse()
+	if err != nil {
+		return optipart.CampaignOptions{}, err
+	}
+	perRank := pr.n / p
+	if perRank < 1 {
+		return optipart.CampaignOptions{}, fmt.Errorf("-n %d spread over %d ranks leaves empty ranks", pr.n, p)
+	}
+	return optipart.CampaignOptions{
+		Steps: pr.steps, PerRank: perRank, Seed: pr.seed,
+		Kind: curve.Kind, Dim: 3,
+		Mode: pmode, Tol: pr.tol, Machine: m, Alpha: pr.alpha,
+		Dist: d, MinLevel: 2, MaxLevel: 18,
+		Every: 1,
+	}, nil
+}
+
+// campaignBody wraps RunCampaign as a rank function; rank 0 reports the
+// final digest through digestOut when non-nil.
+func (pr program) campaignBody(copts optipart.CampaignOptions, res optipart.CampaignResume, digestOut *uint64) func(c *optipart.Comm) error {
+	return func(c *optipart.Comm) error {
+		out, err := optipart.RunCampaign(c, res, copts)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && digestOut != nil {
+			*digestOut = out.Digest
+		}
+		return nil
+	}
+}
+
+// workerMain runs one non-root rank: dial (or rejoin, when respawned with
+// -incarnation), learn the model from the welcome, run the rank program,
+// report how the world ended.
+func workerMain(pr program, endpoint string, rank, p, hardkill int, ckptDir string, inc uint64) error {
 	if rank < 1 || rank >= p {
 		return fmt.Errorf("-rank %d out of range [1,%d) (rank 0 lives in the root process)", rank, p)
 	}
@@ -216,7 +299,56 @@ func workerMain(pr program, endpoint string, rank, p, hardkill int) error {
 		os.Exit(0)
 	}()
 
-	wk, err := optipart.DialRoot(endpoint, rank, p, optipart.WireOptions{})
+	var body func(c *optipart.Comm) error
+	res := optipart.FreshCampaign()
+	var resumeSeq uint64 = optipart.ResumeNone
+	if pr.steps > 0 {
+		copts, err := pr.campaignOpts(p)
+		if err != nil {
+			return err
+		}
+		if inc > 0 {
+			// Respawned incarnation: restore from the latest snapshot; with
+			// none saved yet, replay the whole world from seq 0 (the root's
+			// replay log is complete until its first Checkpoint prune).
+			resumeSeq = 0
+			if ckptDir != "" {
+				store, err := optipart.NewSnapshotStore(ckptDir)
+				if err != nil {
+					return err
+				}
+				snap, err := store.Latest()
+				if err != nil {
+					return err
+				}
+				if snap != nil {
+					if res, err = optipart.ResumeCampaign(snap, rank); err != nil {
+						return err
+					}
+					resumeSeq = snap.Seq
+					fmt.Fprintf(os.Stderr, "optipartd: rank %d: incarnation %d restoring from epoch %d (seq %d)\n",
+						rank, inc, snap.Epoch, snap.Seq)
+				} else {
+					fmt.Fprintf(os.Stderr, "optipartd: rank %d: incarnation %d found no snapshot; replaying from the start\n", rank, inc)
+				}
+			}
+		}
+		body = pr.campaignBody(copts, res, nil)
+	} else {
+		var err error
+		body, err = pr.body(p, nil)
+		if err != nil {
+			return err
+		}
+	}
+
+	var wk *optipart.WireWorker
+	var err error
+	if inc > 0 {
+		wk, err = optipart.DialRootResume(endpoint, rank, p, resumeSeq, inc, optipart.WireOptions{})
+	} else {
+		wk, err = optipart.DialRoot(endpoint, rank, p, optipart.WireOptions{})
+	}
 	if err != nil {
 		return err
 	}
@@ -229,11 +361,12 @@ func workerMain(pr program, endpoint string, rank, p, hardkill int) error {
 	if hardkill >= 0 {
 		opts.Hooks = optipart.HardKill{Rank: rank, AtCollective: hardkill}.Hooks(nil)
 	}
-	body, err := pr.body(p, nil)
-	if err != nil {
-		return err
-	}
 	if _, err := optipart.RunRank(rank, p, wk.Model(), wk, opts, body); err != nil {
+		var se *optipart.ShutdownError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "optipartd: rank %d: %v; exiting cleanly\n", rank, err)
+			return nil
+		}
 		fmt.Fprintf(os.Stderr, "optipartd: rank %d: world failed: %v\n", rank, err)
 		os.Exit(2)
 	}
@@ -241,39 +374,68 @@ func workerMain(pr program, endpoint string, rank, p, hardkill int) error {
 }
 
 // rootMain hosts rank 0 against externally launched workers.
-func rootMain(pr program, endpoint string, p int, calibrate bool) error {
-	st, res, err := runRoot(pr, endpoint, p, calibrate, nil)
+func rootMain(pr program, endpoint string, p int, calibrate bool, policy optipart.FailurePolicy, ckptDir string) error {
+	st, res, digest, err := runRoot(rootRun{
+		pr: pr, endpoint: endpoint, p: p, calibrate: calibrate,
+		wopts: optipart.WireOptions{OnFailure: policy}, ckptDir: ckptDir,
+	})
 	if err != nil {
+		var se *optipart.ShutdownError
+		if errors.As(err, &se) {
+			fmt.Printf("root: shut down cleanly: %v\n", err)
+			return nil
+		}
 		return err
+	}
+	if pr.steps > 0 {
+		fmt.Printf("campaign: %d steps completed, digest %016x\n", pr.steps, digest)
+		printRecovery(st)
+		return nil
 	}
 	printResult(os.Stdout, pr, p, st, res)
 	return nil
 }
 
-// runRoot binds the root transport, invokes spawned (the driver hooks its
-// worker launches in here, after the socket exists), waits for the world to
-// assemble, optionally calibrates, and runs rank 0 of the program.
-func runRoot(pr program, endpoint string, p int, calibrate bool, spawned func()) (*optipart.Stats, *optipart.Result, error) {
-	m, _, _, _, err := pr.parse()
+// rootRun bundles runRoot's inputs.
+type rootRun struct {
+	pr        program
+	endpoint  string
+	p         int
+	calibrate bool
+	// spawned, when non-nil, runs after the socket exists (the driver hooks
+	// its worker launches in here).
+	spawned func()
+	wopts   optipart.WireOptions
+	ckptDir string
+}
+
+// runRoot binds the root transport, invokes spawned, waits for the world to
+// assemble, optionally calibrates, and runs rank 0 of the program (the
+// classic body, or the checkpointed campaign when -steps > 0). The returned
+// stats carry the transport's recovery accounting.
+func runRoot(rr rootRun) (*optipart.Stats, *optipart.Result, uint64, error) {
+	m, _, _, _, err := rr.pr.parse()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	rt, err := optipart.ListenRoot(endpoint, p, optipart.WireOptions{})
+	rt, err := optipart.ListenRoot(rr.endpoint, rr.p, rr.wopts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer rt.Close()
-	if spawned != nil {
-		spawned()
+	activeRoot.Store(rt)
+	defer activeRoot.Store(nil)
+	if rr.spawned != nil {
+		rr.spawned()
 	}
 	if err := rt.WaitReady(30 * time.Second); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	model := m.CostModel()
-	if calibrate {
+	if rr.calibrate {
 		measured, err := rt.Calibrate(optipart.CalibrateOptions{})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		fmt.Printf("calibrated: tc=%.3g ts=%.3g tw=%.3g (machine table: tc=%.3g ts=%.3g tw=%.3g)\n",
 			measured.Tc, measured.Ts, measured.Tw, model.Tc, model.Ts, model.Tw)
@@ -281,23 +443,47 @@ func runRoot(pr program, endpoint string, p int, calibrate bool, spawned func())
 	}
 	rt.Announce(model)
 	var res *optipart.Result
-	body, err := pr.body(p, &res)
-	if err != nil {
-		return nil, nil, err
+	var digest uint64
+	var body func(c *optipart.Comm) error
+	if rr.pr.steps > 0 {
+		copts, err := rr.pr.campaignOpts(rr.p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if rr.ckptDir != "" {
+			store, err := optipart.NewSnapshotStore(rr.ckptDir)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			copts.Saver = store
+			copts.Checkpointer = rt
+		}
+		body = rr.pr.campaignBody(copts, optipart.FreshCampaign(), &digest)
+	} else {
+		body, err = rr.pr.body(rr.p, &res)
+		if err != nil {
+			return nil, nil, 0, err
+		}
 	}
-	st, err := optipart.RunRank(0, p, model, rt, optipart.CheckedOptions{}, body)
+	st, err := optipart.RunRank(0, rr.p, model, rt, optipart.CheckedOptions{}, body)
+	if st != nil {
+		rec := rt.Recovery()
+		st.Recovery = &rec
+	}
 	if err != nil {
-		return st, nil, err
+		return st, nil, 0, err
 	}
 	rt.Drain(5 * time.Second)
-	return st, res, nil
+	return st, res, digest, nil
 }
 
-// driverMain is the recovery-by-repartition demo: phase 1 launches the full
-// world and hard-kills the victim mid-campaign, which must surface as a
-// *RankFailure naming it; phase 2 repartitions onto the renumbered
-// survivors over a fresh socket and must complete within the deadline.
-func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration, calibrate bool) error {
+// driverMain demos the selected failure policy: degrade is the
+// recovery-by-repartition two-phase demo, restore is the self-healing
+// supervised campaign.
+func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration, calibrate bool, policy optipart.FailurePolicy, ckptDir string) error {
+	if policy == optipart.Restore {
+		return restoreDriver(pr, p, kill, sockDir, deadline, calibrate, ckptDir)
+	}
 	if p < 3 {
 		return fmt.Errorf("-launch needs -p >= 3: one root, one victim, and at least one survivor worker")
 	}
@@ -340,7 +526,7 @@ func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration,
 	fmt.Printf("phase 1: %d ranks, victim rank %d exits at its collective %d\n", p, victim, at)
 	ep1 := "unix:" + filepath.Join(sockDir, "phase1.sock")
 	var procs []*exec.Cmd
-	_, _, err = runRoot(pr, ep1, p, calibrate, func() {
+	_, _, _, err = runRoot(rootRun{pr: pr, endpoint: ep1, p: p, calibrate: calibrate, spawned: func() {
 		for r := 1; r < p; r++ {
 			hk := -1
 			if r == victim {
@@ -352,12 +538,17 @@ func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration,
 			}
 			procs = append(procs, cmd)
 		}
-	})
+	}})
 	for _, cmd := range procs {
 		_ = cmd.Wait() // phase 1 workers die with the world; codes logged on stderr
 	}
 	if err == nil {
 		return fmt.Errorf("phase 1 completed despite the scheduled death of rank %d", victim)
+	}
+	var se *optipart.ShutdownError
+	if errors.As(err, &se) {
+		fmt.Printf("driver: interrupted during phase 1; workers reaped\n")
+		return nil
 	}
 	var rf *optipart.RankFailure
 	if !errors.As(err, &rf) {
@@ -379,7 +570,7 @@ func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration,
 	ep2 := "unix:" + filepath.Join(sockDir, "phase2.sock")
 	procs = procs[:0]
 	var spawnErr error
-	st, res, err := runRoot(pr, ep2, survivors, false, func() {
+	st, res, _, err := runRoot(rootRun{pr: pr, endpoint: ep2, p: survivors, spawned: func() {
 		for r := 1; r < survivors; r++ {
 			cmd := spawn(ep2, r, survivors, -1)
 			if serr := cmd.Start(); serr != nil && spawnErr == nil {
@@ -387,7 +578,7 @@ func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration,
 			}
 			procs = append(procs, cmd)
 		}
-	})
+	}})
 	guard.Stop()
 	for _, cmd := range procs {
 		if werr := cmd.Wait(); werr != nil && err == nil {
@@ -398,6 +589,10 @@ func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration,
 		return spawnErr
 	}
 	if err != nil {
+		if errors.As(err, &se) {
+			fmt.Printf("driver: interrupted during phase 2; workers reaped\n")
+			return nil
+		}
 		return fmt.Errorf("recovery failed: %w", err)
 	}
 	fmt.Printf("phase 2: recovery on %d survivors completed in %v\n",
@@ -405,6 +600,213 @@ func driverMain(pr program, p int, kill, sockDir string, deadline time.Duration,
 	fmt.Println()
 	printResult(os.Stdout, pr, survivors, st, res)
 	return nil
+}
+
+// restoreDriver is the self-healing demo: one checkpointed campaign world,
+// a victim scheduled to genuinely die mid-flight, a supervisor that
+// respawns it under a backoff budget, and a final digest that must match a
+// fault-free in-process run bit for bit.
+func restoreDriver(pr program, p int, kill, sockDir string, deadline time.Duration, calibrate bool, ckptDir string) error {
+	if p < 2 {
+		return fmt.Errorf("-launch -on-failure=restore needs -p >= 2: one root and at least one worker")
+	}
+	if pr.steps < 1 {
+		return fmt.Errorf("-on-failure=restore needs a checkpointed campaign: pass -steps >= 1")
+	}
+	victim, at := p-1, 3
+	if kill != "" {
+		var err error
+		if victim, at, err = parseKill(kill, p); err != nil {
+			return err
+		}
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	if sockDir == "" {
+		dir, err := os.MkdirTemp("", "optipartd")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		sockDir = dir
+	}
+	if ckptDir == "" {
+		ckptDir = filepath.Join(sockDir, "ckpt")
+	}
+
+	// The fault-free golden digest, computed in-process under the same
+	// machine model: the self-healed wire campaign must reproduce it.
+	m, _, _, _, err := pr.parse()
+	if err != nil {
+		return err
+	}
+	copts, err := pr.campaignOpts(p)
+	if err != nil {
+		return err
+	}
+	var golden uint64
+	if _, err := optipart.RunChecked(p, m, func(c *optipart.Comm) error {
+		out, err := optipart.RunCampaign(c, optipart.FreshCampaign(), copts)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			golden = out.Digest
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("fault-free golden campaign: %w", err)
+	}
+
+	fmt.Printf("restore: %d ranks, %d steps, victim rank %d exits at its collective %d, policy restore\n",
+		p, pr.steps, victim, at)
+	ep := "unix:" + filepath.Join(sockDir, "restore.sock")
+
+	spawn := func(rank, hardkill int, inc uint64) *exec.Cmd {
+		args := []string{
+			"-connect", ep,
+			"-rank", strconv.Itoa(rank),
+			"-p", strconv.Itoa(p),
+			"-ckpt", ckptDir,
+		}
+		args = append(args, pr.forward()...)
+		if hardkill >= 0 {
+			args = append(args, "-hardkill", strconv.Itoa(hardkill))
+		}
+		if inc > 0 {
+			args = append(args, "-incarnation", strconv.FormatUint(inc, 10))
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	budget := &optipart.RespawnBudget{MaxRespawns: 3, Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	var done atomic.Bool
+	var respawns atomic.Int64
+	var reapMu sync.Mutex
+	live := map[int]*exec.Cmd{}
+	var wg sync.WaitGroup
+
+	// watch supervises one worker process: it reaps the exit and, while the
+	// campaign is still running, respawns the rank as the next incarnation
+	// under the backoff budget.
+	var watch func(rank int, cmd *exec.Cmd, inc uint64)
+	watch = func(rank int, cmd *exec.Cmd, inc uint64) {
+		defer wg.Done()
+		werr := cmd.Wait()
+		reapMu.Lock()
+		if live[rank] == cmd {
+			delete(live, rank)
+		}
+		reapMu.Unlock()
+		if werr == nil || done.Load() || stopping.Load() {
+			return
+		}
+		status := -1
+		var ee *exec.ExitError
+		if errors.As(werr, &ee) {
+			status = ee.ExitCode()
+		}
+		delay, ok := budget.Next(rank, time.Now())
+		if !ok {
+			fmt.Fprintf(os.Stderr, "supervisor: rank %d exhausted its respawn budget; leaving it down\n", rank)
+			return
+		}
+		next := inc + 1
+		fmt.Fprintf(os.Stderr, "supervisor: rank %d exited with status %d; respawning as incarnation %d in %v\n",
+			rank, status, next, delay)
+		time.Sleep(delay)
+		if done.Load() || stopping.Load() {
+			return
+		}
+		c2 := spawn(rank, -1, next)
+		if err := c2.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "supervisor: respawn rank %d: %v\n", rank, err)
+			return
+		}
+		respawns.Add(1)
+		fmt.Printf("supervisor: respawned rank %d (incarnation %d)\n", rank, next)
+		reapMu.Lock()
+		live[rank] = c2
+		reapMu.Unlock()
+		wg.Add(1)
+		go watch(rank, c2, next)
+	}
+
+	start := time.Now()
+	guard := time.AfterFunc(deadline, func() {
+		fmt.Fprintf(os.Stderr, "error: restore did not complete within %v\n", deadline)
+		os.Exit(1)
+	})
+	var spawnErr error
+	st, _, digest, err := runRoot(rootRun{
+		pr: pr, endpoint: ep, p: p, calibrate: calibrate, ckptDir: ckptDir,
+		wopts: optipart.WireOptions{OnFailure: optipart.Restore},
+		spawned: func() {
+			for r := 1; r < p; r++ {
+				hk := -1
+				if r == victim {
+					hk = at
+				}
+				cmd := spawn(r, hk, 0)
+				if serr := cmd.Start(); serr != nil {
+					if spawnErr == nil {
+						spawnErr = serr
+					}
+					continue
+				}
+				reapMu.Lock()
+				live[r] = cmd
+				reapMu.Unlock()
+				wg.Add(1)
+				go watch(r, cmd, 0)
+			}
+		},
+	})
+	guard.Stop()
+	done.Store(true)
+	// Reap: anything still up is asked to drain, then every watcher joins.
+	reapMu.Lock()
+	for _, cmd := range live {
+		if cmd.Process != nil {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	reapMu.Unlock()
+	wg.Wait()
+	if spawnErr != nil {
+		return spawnErr
+	}
+	if err != nil {
+		var se *optipart.ShutdownError
+		if errors.As(err, &se) {
+			fmt.Printf("driver: interrupted; workers drained and reaped\n")
+			return nil
+		}
+		return fmt.Errorf("restore campaign failed: %w", err)
+	}
+	if respawns.Load() < 1 {
+		return fmt.Errorf("restore campaign completed but the supervisor never respawned a worker (was the kill schedule reachable?)")
+	}
+	if digest != golden {
+		return fmt.Errorf("restored campaign digest %016x != fault-free golden %016x", digest, golden)
+	}
+	fmt.Printf("restore: campaign completed in %v; digest matches fault-free golden (%016x)\n",
+		time.Since(start).Round(time.Millisecond), digest)
+	printRecovery(st)
+	return nil
+}
+
+func printRecovery(st *optipart.Stats) {
+	if st == nil || st.Recovery == nil {
+		return
+	}
+	r := st.Recovery
+	fmt.Printf("recovery: deaths=%d rejoins=%d redials=%d restored=%dB mttr=%v\n",
+		r.Deaths, r.Rejoins, r.Redials, r.RestoredBytes, r.MTTR().Round(time.Millisecond))
 }
 
 func printResult(w *os.File, pr program, p int, st *optipart.Stats, res *optipart.Result) {

@@ -63,7 +63,7 @@ func TestProgramParse(t *testing.T) {
 // must reconstruct the exact program, or the SPMD worlds diverge.
 func TestForwardRoundTrip(t *testing.T) {
 	pr := program{n: 12345, seed: -9, machineName: "Wisconsin-8", curveName: "hilbert",
-		modeName: "optipart", distName: "lognormal", tol: 0.15, alpha: 6.5}
+		modeName: "optipart", distName: "lognormal", tol: 0.15, alpha: 6.5, steps: 4}
 	args := pr.forward()
 	got := map[string]string{}
 	for i := 0; i+1 < len(args); i += 2 {
@@ -72,6 +72,7 @@ func TestForwardRoundTrip(t *testing.T) {
 	want := map[string]string{
 		"-n": "12345", "-seed": "-9", "-machine": "Wisconsin-8", "-curve": "hilbert",
 		"-mode": "optipart", "-dist": "lognormal", "-tol": "0.15", "-alpha": "6.5",
+		"-steps": "4",
 	}
 	for k, w := range want {
 		if got[k] != w {

@@ -1,0 +1,169 @@
+package ckpt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/sfc"
+)
+
+func campaignOpts(steps int) CampaignOptions {
+	return CampaignOptions{
+		Steps:    steps,
+		PerRank:  60,
+		Seed:     20170626,
+		Kind:     sfc.Hilbert,
+		Dim:      3,
+		Mode:     partition.ModelDriven,
+		Machine:  machine.Clemson32(),
+		Dist:     octree.Normal,
+		MinLevel: 2,
+		MaxLevel: 10,
+	}
+}
+
+// runFresh runs a fresh campaign on p in-process ranks and returns the
+// per-rank results.
+func runFresh(t *testing.T, p int, opts CampaignOptions) []CampaignResult {
+	t.Helper()
+	results := make([]CampaignResult, p)
+	var mu sync.Mutex
+	_, err := comm.RunChecked(p, opts.Machine.CostModel(), func(c *comm.Comm) error {
+		out, err := RunCampaign(c, Fresh(), opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("fresh campaign: %v", err)
+	}
+	return results
+}
+
+func TestCampaignDigestDeterministic(t *testing.T) {
+	const p = 4
+	a := runFresh(t, p, campaignOpts(3))
+	for r := 1; r < p; r++ {
+		if a[r].Digest != a[0].Digest {
+			t.Fatalf("rank %d digest %016x != rank 0 %016x", r, a[r].Digest, a[0].Digest)
+		}
+	}
+	b := runFresh(t, p, campaignOpts(3))
+	if b[0].Digest != a[0].Digest {
+		t.Fatalf("rerun digest %016x != %016x", b[0].Digest, a[0].Digest)
+	}
+}
+
+// TestCampaignRestoreBitIdentical is the core restore property: running a
+// prefix, snapshotting, and resuming a brand-new world from the snapshot
+// produces the exact digest (placement history) of the uninterrupted run.
+func TestCampaignRestoreBitIdentical(t *testing.T) {
+	const p, steps = 4, 4
+	opts := campaignOpts(steps)
+	mem := NewMemStore()
+	full := campaignOpts(steps)
+	full.Saver = mem
+	golden := runFresh(t, p, full)
+
+	// Prefix run: first two steps only, checkpointing as it goes.
+	mem2 := NewMemStore()
+	prefix := campaignOpts(2)
+	prefix.Saver = mem2
+	runFresh(t, p, prefix)
+
+	snap, err := mem2.Latest()
+	if err != nil || snap == nil {
+		t.Fatalf("no snapshot after prefix: %v", err)
+	}
+	if snap.Epoch != 2 {
+		t.Fatalf("snapshot epoch %d, want 2", snap.Epoch)
+	}
+
+	// Resume a fresh world from the snapshot and finish the campaign.
+	finals := make([]uint64, p)
+	var mu sync.Mutex
+	_, err = comm.RunChecked(p, opts.Machine.CostModel(), func(c *comm.Comm) error {
+		res, err := ResumeFrom(snap, c.Rank())
+		if err != nil {
+			return err
+		}
+		out, err := RunCampaign(c, res, opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		finals[c.Rank()] = out.Digest
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	for r := 0; r < p; r++ {
+		if finals[r] != golden[0].Digest {
+			t.Fatalf("rank %d resumed digest %016x != golden %016x", r, finals[r], golden[0].Digest)
+		}
+	}
+
+	// The full run's final snapshot and the resumed run's state agree too.
+	goldSnap, err := mem.Latest()
+	if err != nil || goldSnap == nil {
+		t.Fatalf("golden snapshot: %v", err)
+	}
+	if goldSnap.Digest != golden[0].Digest || goldSnap.Epoch != steps {
+		t.Fatalf("golden snapshot %+v out of step with run digest %016x", goldSnap, golden[0].Digest)
+	}
+}
+
+// TestCampaignDrainAbandons checks the chaos harness's clean-drain seam: a
+// rank leaving at a step boundary surfaces as a structured AbandonedError
+// on the ranks still in the campaign.
+func TestCampaignDrainAbandons(t *testing.T) {
+	const p = 3
+	opts := campaignOpts(3)
+	opts.StepDone = func(c *comm.Comm, step int, seq uint64) bool {
+		return !(c.Rank() == 1 && step == 0)
+	}
+	_, err := comm.RunChecked(p, opts.Machine.CostModel(), func(c *comm.Comm) error {
+		_, err := RunCampaign(c, Fresh(), opts)
+		return err
+	})
+	var ab *comm.AbandonedError
+	if !errors.As(err, &ab) {
+		t.Fatalf("got %v, want AbandonedError", err)
+	}
+}
+
+func TestCampaignCheckpointCadence(t *testing.T) {
+	mem := NewMemStore()
+	opts := campaignOpts(5)
+	opts.Every = 2
+	opts.Saver = mem
+	runFresh(t, 2, opts)
+	mem.mu.Lock()
+	var epochs []int
+	for e := range mem.snaps {
+		epochs = append(epochs, e)
+	}
+	mem.mu.Unlock()
+	if len(epochs) != 3 { // steps 2, 4, and the final 5
+		t.Fatalf("epochs %v, want checkpoints at 2, 4, 5", epochs)
+	}
+	for _, e := range []int{2, 4, 5} {
+		mem.mu.Lock()
+		_, ok := mem.snaps[e]
+		mem.mu.Unlock()
+		if !ok {
+			t.Fatalf("missing checkpoint at epoch %d", e)
+		}
+	}
+}

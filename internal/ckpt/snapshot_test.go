@@ -1,0 +1,192 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"optipart/internal/comm"
+	"optipart/internal/octree"
+	"optipart/internal/sfc"
+)
+
+// testSnapshot builds a representative snapshot with uneven placements.
+func testSnapshot(t testing.TB, seed int64, p int) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	placement := make([][]sfc.Key, p)
+	for r := range placement {
+		placement[r] = octree.RandomKeys(rng, 5+7*r, 3, octree.Normal, 2, 12)
+	}
+	return &Snapshot{
+		Epoch:     3,
+		Seq:       417,
+		P:         p,
+		Kind:      sfc.Hilbert,
+		Dim:       3,
+		Model:     comm.CostModel{Tc: 1e-9, Ts: 2.5e-6, Tw: 3e-9},
+		Digest:    0xdeadbeefcafef00d,
+		Seps:      octree.RandomKeys(rng, p-1, 3, octree.Uniform, 1, 6),
+		Placement: placement,
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		snap := testSnapshot(t, int64(p)*11, p)
+		buf, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("p=%d encode: %v", p, err)
+		}
+		buf2, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("p=%d re-encode: %v", p, err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("p=%d: encoding is not deterministic", p)
+		}
+		got, err := DecodeSnapshot(buf)
+		if err != nil {
+			t.Fatalf("p=%d decode: %v", p, err)
+		}
+		if got.Epoch != snap.Epoch || got.Seq != snap.Seq || got.P != snap.P ||
+			got.Kind != snap.Kind || got.Dim != snap.Dim || got.Model != snap.Model ||
+			got.Digest != snap.Digest {
+			t.Fatalf("p=%d header mismatch: got %+v", p, got)
+		}
+		if len(got.Seps) != len(snap.Seps) {
+			t.Fatalf("p=%d seps: got %d want %d", p, len(got.Seps), len(snap.Seps))
+		}
+		for i, k := range snap.Seps {
+			if got.Seps[i] != k {
+				t.Fatalf("p=%d sep %d mismatch", p, i)
+			}
+		}
+		for r := range snap.Placement {
+			if len(got.Placement[r]) != len(snap.Placement[r]) {
+				t.Fatalf("p=%d rank %d count mismatch", p, r)
+			}
+			for i, k := range snap.Placement[r] {
+				if got.Placement[r][i] != k {
+					t.Fatalf("p=%d rank %d key %d mismatch", p, r, i)
+				}
+			}
+		}
+		// The decode→encode path is canonical: bit-identical bytes back out.
+		re, err := EncodeSnapshot(got)
+		if err != nil {
+			t.Fatalf("p=%d encode of decoded: %v", p, err)
+		}
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("p=%d: decode→encode is not bit-identical", p)
+		}
+	}
+}
+
+func TestDecodeSnapshotRejects(t *testing.T) {
+	good, err := EncodeSnapshot(testSnapshot(t, 7, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, buf []byte, want error) {
+		t.Helper()
+		if _, err := DecodeSnapshot(buf); !errors.Is(err, want) {
+			t.Fatalf("%s: got %v, want %v", name, err, want)
+		}
+	}
+	check("empty", nil, ErrSnapshotShort)
+	check("truncated header", good[:20], ErrSnapshotShort)
+	check("truncated body", good[:len(good)-9], ErrSnapshotChecksum)
+
+	bad := bytes.Clone(good)
+	bad[0] = 'X'
+	check("magic", bad, ErrSnapshotMagic)
+
+	bad = bytes.Clone(good)
+	bad[4] = 99
+	check("version", bad, ErrSnapshotVersion)
+
+	bad = bytes.Clone(good)
+	bad[len(bad)/2] ^= 1
+	check("flipped body bit", bad, ErrSnapshotChecksum)
+
+	bad = bytes.Clone(good)
+	bad[len(bad)-1] ^= 1
+	check("flipped trailer bit", bad, ErrSnapshotChecksum)
+
+	check("trailing garbage", append(bytes.Clone(good), 0), ErrSnapshotChecksum)
+}
+
+func TestEncodeSnapshotRejects(t *testing.T) {
+	snap := testSnapshot(t, 9, 3)
+	snap.P = 0
+	if _, err := EncodeSnapshot(snap); !errors.Is(err, ErrSnapshotRange) {
+		t.Fatalf("p=0: got %v", err)
+	}
+	snap = testSnapshot(t, 9, 3)
+	snap.Placement = snap.Placement[:2]
+	if _, err := EncodeSnapshot(snap); !errors.Is(err, ErrSnapshotRange) {
+		t.Fatalf("short placement: got %v", err)
+	}
+	snap = testSnapshot(t, 9, 3)
+	snap.Epoch = -1
+	if _, err := EncodeSnapshot(snap); !errors.Is(err, ErrSnapshotRange) {
+		t.Fatalf("negative epoch: got %v", err)
+	}
+}
+
+func TestDigestFoldOrderSensitive(t *testing.T) {
+	a := octree.RandomKeys(rand.New(rand.NewSource(1)), 8, 3, octree.Uniform, 1, 6)
+	b := octree.RandomKeys(rand.New(rand.NewSource(2)), 8, 3, octree.Uniform, 1, 6)
+	d1 := DigestFold(DigestInit, 0, [][]sfc.Key{a, b})
+	d2 := DigestFold(DigestInit, 0, [][]sfc.Key{b, a})
+	if d1 == d2 {
+		t.Fatal("digest ignores rank order")
+	}
+	if DigestFold(DigestInit, 0, [][]sfc.Key{a, b}) != d1 {
+		t.Fatal("digest is not deterministic")
+	}
+	if DigestFold(DigestInit, 1, [][]sfc.Key{a, b}) == d1 {
+		t.Fatal("digest ignores the step index")
+	}
+}
+
+func mustEncodeSnap(f *testing.F, s *Snapshot) []byte {
+	buf, err := EncodeSnapshot(s)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzDecodeSnapshot asserts the checkpoint decoder's safety contract on
+// arbitrary input, mirroring FuzzDecodeFrame: it may reject, but it must
+// never panic, never over-allocate (every count is validated against the
+// remaining bytes before allocation), must reject bad checksums, and
+// anything it accepts must re-encode to the identical bytes.
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("OCKP"))
+	f.Add(mustEncodeSnap(f, testSnapshot(f, 3, 1)))
+	f.Add(mustEncodeSnap(f, testSnapshot(f, 5, 4)))
+	f.Add(mustEncodeSnap(f, &Snapshot{Epoch: 0, P: 2, Placement: make([][]sfc.Key, 2)}))
+	f.Add(mustEncodeSnap(f, testSnapshot(f, 11, 3))[:60])
+	corrupt := mustEncodeSnap(f, testSnapshot(f, 13, 2))
+	corrupt[len(corrupt)-3] ^= 0x40
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", data, re)
+		}
+	})
+}

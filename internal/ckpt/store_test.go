@@ -1,0 +1,111 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreSaveLatest(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := st.Latest(); err != nil || snap != nil {
+		t.Fatalf("empty store: got %v, %v", snap, err)
+	}
+	for epoch := 1; epoch <= 3; epoch++ {
+		snap := testSnapshot(t, int64(epoch), 3)
+		snap.Epoch = epoch
+		snap.Seq = uint64(epoch * 10)
+		if err := st.Save(snap); err != nil {
+			t.Fatalf("save epoch %d: %v", epoch, err)
+		}
+	}
+	got, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Epoch != 3 || got.Seq != 30 {
+		t.Fatalf("latest: got %+v", got)
+	}
+	// No stray temp files survive a save.
+	entries, err := os.ReadDir(st.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestStoreLatestSkipsCorrupt(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testSnapshot(t, 1, 2)
+	good.Epoch = 1
+	if err := st.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := testSnapshot(t, 2, 2)
+	bad.Epoch = 2
+	if err := st.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest file: a torn write must fall back to epoch 1.
+	name := filepath.Join(st.Dir, snapName(2))
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 1
+	if err := os.WriteFile(name, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Epoch != 1 {
+		t.Fatalf("latest after corruption: got %+v", got)
+	}
+	// With every file corrupt, Latest reports the decode failures.
+	name1 := filepath.Join(st.Dir, snapName(1))
+	if err := os.WriteFile(name1, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Latest(); err == nil {
+		t.Fatal("all-corrupt store: want error")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMemStore()
+	if snap, err := m.Latest(); err != nil || snap != nil {
+		t.Fatalf("empty: got %v, %v", snap, err)
+	}
+	if m.RestoredBytes() != 0 {
+		t.Fatal("restored bytes before any restore")
+	}
+	for epoch := 1; epoch <= 2; epoch++ {
+		snap := testSnapshot(t, int64(epoch), 2)
+		snap.Epoch = epoch
+		if err := m.Save(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Epoch != 2 {
+		t.Fatalf("latest: got %+v", got)
+	}
+	if m.RestoredBytes() <= 0 {
+		t.Fatal("restored bytes not tracked")
+	}
+}

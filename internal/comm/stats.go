@@ -1,6 +1,9 @@
 package comm
 
-import "slices"
+import (
+	"slices"
+	"time"
+)
 
 // Stats is the accounting of one SPMD run: modeled times per rank and phase,
 // and actual communication volumes. All values are deterministic functions
@@ -18,6 +21,34 @@ type Stats struct {
 	Retransmits []int64 // per-rank retransmitted message count
 	RetryBytes  []int64 // per-rank retransmitted bytes
 	Duplicates  []int64 // per-rank duplicate deliveries discarded (receiver side)
+
+	// Recovery is the self-healing layer's accounting, nil unless the run
+	// rode a transport or harness that repairs failures (wire Restore
+	// policy, chaos harness). It is attached by the driver after the run:
+	// recovery happens below the collective layer, outside the modeled
+	// clocks.
+	Recovery *RecoveryStats
+}
+
+// RecoveryStats aggregates what the self-healing layer did during a run:
+// deaths declared, incarnations readmitted, connections re-dialed, bytes of
+// state replayed or restored, and wall-clock downtime between a death and
+// the rejoin that repaired it.
+type RecoveryStats struct {
+	Deaths        int           // ranks declared dead (heartbeat expiry or mid-campaign drain)
+	Rejoins       int           // replacement incarnations admitted back into the world
+	Redials       int           // connections re-admitted on an existing membership slot
+	RestoredBytes int64         // bytes replayed or re-read to bring a rank back (result log + snapshots)
+	Downtime      time.Duration // wall-clock death→rejoin, summed over rejoins
+}
+
+// MTTR is the mean time to repair: average downtime per completed rejoin,
+// zero when nothing was repaired.
+func (r RecoveryStats) MTTR() time.Duration {
+	if r.Rejoins == 0 {
+		return 0
+	}
+	return r.Downtime / time.Duration(r.Rejoins)
 }
 
 func newStats(w *World) *Stats {

@@ -163,6 +163,20 @@ func TestCollectiveDivergeFixtures(t *testing.T) {
 	checkSilent(t, "divergeok")
 }
 
+// TestDrainLoopFixture pins the checkpoint-campaign drain pattern from
+// internal/ckpt: a step loop whose only rank-dependent exit is the drain
+// hook passes the gate only with a reasoned //lint:ignore, and the same
+// loop without the directive keeps firing.
+func TestDrainLoopFixture(t *testing.T) {
+	res := checkFixture(t, "drainloop")
+	if n := ruleCount(res, "collectivediverge"); n != 1 {
+		t.Errorf("drainloop: %d collectivediverge findings, want exactly the undirected loop", n)
+	}
+	if len(res.Suppressions) != 1 || res.Suppressions[0].Rule != "collectivediverge" {
+		t.Errorf("drainloop: suppressions = %+v, want one honored collectivediverge directive", res.Suppressions)
+	}
+}
+
 func TestNondeterminismFixtures(t *testing.T) {
 	res := checkFixture(t, "nondetbad")
 	if n := ruleCount(res, "nondeterminism"); n < 3 {
@@ -270,7 +284,7 @@ func TestSuppressions(t *testing.T) {
 // diagnostic across all fixtures against testdata/positions.golden. Run with
 // UPDATE_LINT_GOLDEN=1 to regenerate after editing fixtures.
 func TestFixturePositions(t *testing.T) {
-	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "netbad", "suppress"}
+	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "netbad", "suppress", "drainloop"}
 	l := fixtureLoader(t)
 	srcRoot := filepath.Join(l.ModRoot, "internal", "lint", "testdata", "src")
 	var lines []string

@@ -1,0 +1,39 @@
+// Package drainloop captures the checkpointed-campaign drain pattern from
+// internal/ckpt: a step loop whose only rank-dependent exit is a drain hook.
+// The divergence is real — a drained rank stops calling collectives — but it
+// is a sanctioned fault-injection point the runtime reports as a structured
+// abandonment, so the campaign suppresses the finding with a reason. The
+// same loop without the directive must keep firing.
+package drainloop
+
+import "optipart/internal/comm"
+
+// drainedCampaign mirrors ckpt.RunCampaign: uniform collectives per step,
+// then a drain predicate that may retire this rank at the step boundary.
+func drainedCampaign(c *comm.Comm, vals []float64, drain func(rank, step int) bool) float64 {
+	total := 0.0
+	for s := 0; s < 8; s++ {
+		//lint:ignore collectivediverge the loop's only rank-dependent exit is the drain hook below, a sanctioned divergence point the runtime reports as a structured abandonment
+		out := comm.Allreduce(c, vals, 8, comm.SumF64)
+		total += out[0]
+		if drain(c.Rank(), s) {
+			return total
+		}
+	}
+	return total
+}
+
+// undirectedCampaign is the identical loop without the directive: the
+// analyzer must still flag it, so only explicitly reasoned drain loops
+// get past the gate.
+func undirectedCampaign(c *comm.Comm, vals []float64) float64 {
+	total := 0.0
+	for s := 0; s < 8; s++ {
+		out := comm.Allreduce(c, vals, 8, comm.SumF64) // want "in a loop with a rank-dependent exit"
+		total += out[0]
+		if s == c.Rank() {
+			return total
+		}
+	}
+	return total
+}

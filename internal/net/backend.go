@@ -27,7 +27,8 @@ const noSeq = ^uint64(0)
 type helloBody struct {
 	Rank   int
 	P      int
-	Resume uint64 // seq of the result the worker is still owed; noSeq if none
+	Resume uint64 // seq of the first result the worker is still owed; noSeq if none
+	Inc    uint64 // incarnation number; respawned replacements join with a higher one
 }
 
 type welcomeBody struct {
@@ -51,7 +52,7 @@ type resultBody struct {
 // failure detected on one process is reconstructed as the same structured
 // type on every other.
 type wireFailure struct {
-	Kind       string // "rank", "link", "mismatch", "abandoned", "generic"
+	Kind       string // "rank", "link", "mismatch", "abandoned", "shutdown", "generic"
 	Rank       int
 	Op         string
 	Phase      string
@@ -91,6 +92,8 @@ func encodeFailure(err error) wireFailure {
 		return wireFailure{Kind: "mismatch", Step: e.Step, Calls: e.Calls}
 	case *comm.AbandonedError:
 		return wireFailure{Kind: "abandoned", Waiter: e.Waiter, Op: e.Op, Departed: e.Departed}
+	case *ShutdownError:
+		return wireFailure{Kind: "shutdown", Msg: e.Reason}
 	default:
 		return wireFailure{Kind: "generic", Msg: fmt.Sprint(err)}
 	}
@@ -108,6 +111,8 @@ func decodeFailure(wf wireFailure) error {
 		return &comm.MismatchError{Step: wf.Step, Calls: wf.Calls}
 	case "abandoned":
 		return &comm.AbandonedError{Waiter: wf.Waiter, Op: wf.Op, Departed: wf.Departed}
+	case "shutdown":
+		return &ShutdownError{Reason: wf.Msg}
 	default:
 		return errors.New(wf.Msg)
 	}
@@ -135,21 +140,35 @@ type Root struct {
 	failf   func(error)
 	pending error
 
-	mu            sync.Mutex
-	cond          *sync.Cond
-	links         []*link // index by rank; [0] unused
-	inbox         []*depositMsg
-	lastOp        []string
-	lastSeq       []uint64
-	done          []bool
-	joined        int
-	waitExpired   bool
-	announced     bool
-	model         comm.CostModel
-	cancelled     bool
-	step          uint64 // next collective index rank 0 will run
-	lastResult    []byte // encoded fResult frame of step-1, for reconnect replay
-	lastResultSeq uint64
+	mu          sync.Mutex
+	cond        *sync.Cond
+	links       []*link // index by rank; [0] unused
+	inbox       []*depositMsg
+	lastOp      []string
+	lastSeq     []uint64
+	done        []bool
+	joined      int
+	waitExpired bool
+	announced   bool
+	model       comm.CostModel
+	cancelled   bool
+	step        uint64 // next collective index rank 0 will run
+
+	// resultLog holds encoded fResult frames by seq for reconnect and
+	// rejoin replay. Under Degrade it is pruned to the latest result (the
+	// PR 6 behavior); under Restore it retains everything since the last
+	// Checkpoint call, so a worker restored from that checkpoint can be
+	// replayed forward to the live step.
+	resultLog map[uint64][]byte
+
+	// Membership epochs: inc[rank] is the accepted incarnation number.
+	// Hellos with a lower incarnation are zombies and fenced off; a higher
+	// incarnation is a respawned replacement (Restore policy only).
+	inc            []uint64
+	awaitingRejoin []bool
+	rejoinTimer    []*time.Timer
+	deathAt        []time.Time
+	rec            comm.RecoveryStats
 
 	gen      atomic.Uint64
 	mon      *Monitor
@@ -179,17 +198,22 @@ func NewRoot(endpoint string, p int, opts Options) (*Root, error) {
 	}
 	opts = opts.withDefaults()
 	r := &Root{
-		p:       p,
-		opts:    opts,
-		ln:      ln,
-		links:   make([]*link, p),
-		inbox:   make([]*depositMsg, p),
-		lastOp:  make([]string, p),
-		lastSeq: make([]uint64, p),
-		done:    make([]bool, p),
-		mon:     NewMonitor(opts.HeartbeatTimeout),
-		calCh:   make(chan *Frame, 4*p),
-		stop:    make(chan struct{}),
+		p:              p,
+		opts:           opts,
+		ln:             ln,
+		links:          make([]*link, p),
+		inbox:          make([]*depositMsg, p),
+		lastOp:         make([]string, p),
+		lastSeq:        make([]uint64, p),
+		done:           make([]bool, p),
+		resultLog:      make(map[uint64][]byte),
+		inc:            make([]uint64, p),
+		awaitingRejoin: make([]bool, p),
+		rejoinTimer:    make([]*time.Timer, p),
+		deathAt:        make([]time.Time, p),
+		mon:            NewMonitor(opts.HeartbeatTimeout),
+		calCh:          make(chan *Frame, 4*p),
+		stop:           make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	go r.acceptLoop()
@@ -200,8 +224,9 @@ func NewRoot(endpoint string, p int, opts Options) (*Root, error) {
 // Addr returns the listener's address.
 func (r *Root) Addr() stdnet.Addr { return r.ln.Addr() }
 
-// WaitReady blocks until all p-1 workers have joined, or fails after
-// timeout.
+// WaitReady blocks until all p-1 workers have joined. If the rendezvous
+// does not complete within timeout it fails with a structured *JoinTimeout
+// naming the ranks that never connected.
 func (r *Root) WaitReady(timeout time.Duration) error {
 	t := time.AfterFunc(timeout, func() {
 		r.mu.Lock()
@@ -216,7 +241,13 @@ func (r *Root) WaitReady(timeout time.Duration) error {
 		r.cond.Wait()
 	}
 	if r.joined < r.p-1 {
-		return fmt.Errorf("net: %d of %d workers joined within %v", r.joined, r.p-1, timeout)
+		jt := &JoinTimeout{P: r.p, Joined: r.joined, Timeout: timeout}
+		for rank := 1; rank < r.p; rank++ {
+			if r.links[rank] == nil {
+				jt.Missing = append(jt.Missing, rank)
+			}
+		}
+		return jt
 	}
 	return nil
 }
@@ -275,6 +306,12 @@ func (r *Root) Close() {
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.ln.Close()
 	r.mu.Lock()
+	for rank, t := range r.rejoinTimer {
+		if t != nil {
+			t.Stop()
+			r.rejoinTimer[rank] = nil
+		}
+	}
 	links := append([]*link(nil), r.links...)
 	r.mu.Unlock()
 	for _, l := range links {
@@ -315,12 +352,37 @@ func (r *Root) admit(conn stdnet.Conn) {
 	}
 	rank := hb.Rank
 	r.mu.Lock()
-	if r.mon.Dead(rank) || r.done[rank] {
-		// An evicted rank does not resurrect into a world that already
-		// declared it dead; recovery happens in a new world.
+	switch {
+	case hb.Inc < r.inc[rank]:
+		// A zombie of a fenced-off incarnation: a replacement has already
+		// been admitted in its place.
 		r.mu.Unlock()
 		conn.Close()
 		return
+	case hb.Inc > r.inc[rank]:
+		// A respawned replacement. Only a Restore-policy world readmits
+		// one, and never for a rank whose program already finished.
+		if r.opts.OnFailure != Restore || r.done[rank] {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		r.inc[rank] = hb.Inc
+		r.completeRejoinLocked(rank)
+	default:
+		if r.mon.Dead(rank) || r.done[rank] {
+			if r.opts.OnFailure != Restore || !r.awaitingRejoin[rank] {
+				// An evicted rank does not resurrect into a world that
+				// already declared it dead; under Degrade recovery happens
+				// in a new world.
+				r.mu.Unlock()
+				conn.Close()
+				return
+			}
+			// The same incarnation came back inside the rejoin window (a
+			// network partition, not a process death).
+			r.completeRejoinLocked(rank)
+		}
 	}
 	l := r.links[rank]
 	if l == nil {
@@ -329,11 +391,12 @@ func (r *Root) admit(conn stdnet.Conn) {
 		r.joined++
 	} else {
 		l.replace(conn)
+		r.rec.Redials++
 	}
 	announced, model := r.announced, r.model
-	var resend []byte
-	if r.lastResult != nil && hb.Resume == r.lastResultSeq {
-		resend = r.lastResult
+	replay := r.loggedLocked(hb.Resume)
+	for _, buf := range replay {
+		r.rec.RestoredBytes += int64(len(buf))
 	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
@@ -344,8 +407,8 @@ func (r *Root) admit(conn stdnet.Conn) {
 			l.write(&Frame{Type: fWelcome, Src: 0, Payload: payload})
 		}
 	}
-	if resend != nil {
-		l.writeRaw(resend)
+	for _, buf := range replay {
+		l.writeRaw(buf)
 	}
 	go r.reader(rank, conn, l)
 }
@@ -417,6 +480,12 @@ func (r *Root) heartbeatLoop() {
 				}
 			}
 			for _, rank := range r.mon.Expired(time.Now()) {
+				if r.opts.OnFailure == Restore {
+					r.mu.Lock()
+					r.deathEventLocked(rank)
+					r.mu.Unlock()
+					continue
+				}
 				r.mu.Lock()
 				op := r.lastOp[rank]
 				coll := -1
@@ -523,7 +592,13 @@ func (r *Root) Step(st *comm.StepState) any {
 			}
 			ready = false
 			if r.done[rank] {
-				departed = append(departed, rank)
+				if r.opts.OnFailure == Restore {
+					// A rank that drained out mid-campaign is a death under
+					// Restore: hold the step open for its replacement.
+					r.deathEventLocked(rank)
+				} else {
+					departed = append(departed, rank)
+				}
 			}
 		}
 		if len(departed) > 0 {
@@ -571,7 +646,17 @@ func (r *Root) Step(st *comm.StepState) any {
 	}
 
 	r.mu.Lock()
-	r.lastResult, r.lastResultSeq = frame, seq
+	r.resultLog[seq] = frame
+	if r.opts.OnFailure != Restore {
+		// Degrade worlds only ever replay the latest result to a
+		// reconnecting worker; Restore worlds keep the log back to the last
+		// checkpoint so a restored incarnation can be caught up.
+		for k := range r.resultLog {
+			if k != seq {
+				delete(r.resultLog, k)
+			}
+		}
+	}
 	for rank := 1; rank < r.p; rank++ {
 		r.inbox[rank] = nil
 	}
@@ -610,6 +695,7 @@ func (r *Root) mismatch(st *comm.StepState, deposits []*depositMsg) error {
 // results, and reconnect-with-backoff when the connection breaks.
 type Worker struct {
 	rank, p  int
+	inc      uint64 // incarnation number carried in every hello
 	opts     Options
 	network  string
 	addr     string
@@ -625,7 +711,7 @@ type Worker struct {
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	result     *Frame
+	results    map[uint64]*Frame // parked results by seq (replay can arrive in bursts)
 	cancelled  bool
 	awaiting   uint64 // seq of the result Step is blocked on; noSeq if none
 	pendingDep []byte // encoded deposit frame of the in-flight step
@@ -633,10 +719,24 @@ type Worker struct {
 	lastRoot   time.Time // last instant any frame arrived from the root
 }
 
+// ResumeNone marks a fresh join in DialResume: no owed results to replay.
+const ResumeNone = noSeq
+
 // Dial connects rank to the root at endpoint, sends the hello, and blocks —
 // answering heartbeats and calibration probes — until the root's welcome
 // releases the world. The returned Worker carries the announced cost model.
 func Dial(endpoint string, rank, p int, opts Options) (*Worker, error) {
+	return DialResume(endpoint, rank, p, ResumeNone, 0, opts)
+}
+
+// DialResume is Dial for a restored incarnation: resume is the collective
+// sequence the worker's checkpoint was taken at (the first result it needs
+// replayed; ResumeNone for a fresh join), and inc is its incarnation number
+// — a Restore-policy root admits a rejoin only with an incarnation strictly
+// above the one it fenced off. The transport's collective counter starts at
+// resume, so the restored rank program's collectives line up with the live
+// world's sequence numbers.
+func DialResume(endpoint string, rank, p int, resume, inc uint64, opts Options) (*Worker, error) {
 	if rank < 1 || rank >= p {
 		return nil, fmt.Errorf("net: Dial with rank=%d p=%d (rank 0 is the root)", rank, p)
 	}
@@ -646,10 +746,14 @@ func Dial(endpoint string, rank, p int, opts Options) (*Worker, error) {
 	}
 	opts = opts.withDefaults()
 	w := &Worker{
-		rank: rank, p: p, opts: opts,
+		rank: rank, p: p, inc: inc, opts: opts,
 		network: network, addr: addr,
 		stop:     make(chan struct{}),
 		awaiting: noSeq,
+		results:  make(map[uint64]*Frame),
+	}
+	if resume != ResumeNone {
+		w.gen.Store(resume)
 	}
 	w.cond = sync.NewCond(&w.mu)
 	conn, err := w.dialRetry()
@@ -657,7 +761,7 @@ func Dial(endpoint string, rank, p int, opts Options) (*Worker, error) {
 		return nil, err
 	}
 	w.link = newLink(conn, opts)
-	if err := w.hello(conn, noSeq); err != nil {
+	if err := w.hello(conn, resume); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -708,7 +812,7 @@ func (w *Worker) dialRetry() (stdnet.Conn, error) {
 }
 
 func (w *Worker) hello(conn stdnet.Conn, resume uint64) error {
-	payload, err := encodeBody(&helloBody{Rank: w.rank, P: w.p, Resume: resume})
+	payload, err := encodeBody(&helloBody{Rank: w.rank, P: w.p, Resume: resume, Inc: w.inc})
 	if err != nil {
 		return err
 	}
@@ -751,6 +855,8 @@ func (w *Worker) awaitWelcome(conn stdnet.Conn) (comm.CostModel, error) {
 				return comm.CostModel{}, decodeFailure(wf)
 			}
 			return comm.CostModel{}, fmt.Errorf("net: rank %d aborted during handshake", w.rank)
+		case fShutdown:
+			return comm.CostModel{}, &ShutdownError{Reason: string(f.Payload)}
 		}
 	}
 }
@@ -797,8 +903,8 @@ func (w *Worker) reader(conn stdnet.Conn) {
 			w.link.write(&Frame{Type: fCalEcho, Src: int32(w.rank), Seq: f.Seq, Payload: f.Payload})
 		case fResult:
 			w.mu.Lock()
-			if w.result == nil || f.Seq >= w.result.Seq {
-				w.result = f
+			if f.Seq >= w.gen.Load() {
+				w.results[f.Seq] = f
 			}
 			w.cond.Broadcast()
 			w.mu.Unlock()
@@ -807,6 +913,8 @@ func (w *Worker) reader(conn stdnet.Conn) {
 			if decodeBody(f.Payload, &wf) == nil {
 				w.remoteAbort(decodeFailure(wf))
 			}
+		case fShutdown:
+			w.remoteAbort(&ShutdownError{Reason: string(f.Payload)})
 		case fWelcome:
 			// replayed after a reconnect; the model is already fixed
 		}
@@ -968,13 +1076,13 @@ func (w *Worker) Step(st *comm.StepState) any {
 			w.mu.Unlock()
 			st.Abort(nil)
 		}
-		if w.result != nil && w.result.Seq == seq {
+		if w.results[seq] != nil {
 			break
 		}
 		w.cond.Wait()
 	}
-	rf := w.result
-	w.result = nil
+	rf := w.results[seq]
+	delete(w.results, seq)
 	w.awaiting = noSeq
 	w.pendingDep = nil
 	w.mu.Unlock()

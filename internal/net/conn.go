@@ -8,6 +8,44 @@ import (
 	"time"
 )
 
+// Policy selects what the root does when a worker is declared dead
+// mid-campaign.
+type Policy int
+
+const (
+	// Degrade fails the world with a structured RankFailure so the driver
+	// can shrink to the survivors and repartition — PR 6's behavior, and
+	// the default.
+	Degrade Policy = iota
+	// Restore holds the world open for a bounded RejoinWait: a supervisor
+	// respawns the dead worker, the replacement rejoins with a higher
+	// incarnation number and a resume sequence from its checkpoint, and the
+	// root replays the results it is owed. Only if no replacement arrives
+	// in time does the world fail as under Degrade.
+	Restore
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Degrade:
+		return "degrade"
+	case Restore:
+		return "restore"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps the -on-failure flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "degrade":
+		return Degrade, nil
+	case "restore":
+		return Restore, nil
+	}
+	return Degrade, fmt.Errorf("net: unknown failure policy %q (want degrade or restore)", s)
+}
+
 // Options tunes the wire transport. The zero value means defaults, chosen
 // so a loopback CI world detects a killed worker well inside a one-minute
 // deadline while tolerating multi-second GC or scheduler pauses.
@@ -33,6 +71,18 @@ type Options struct {
 	BackoffMax  time.Duration
 	// JitterSeed seeds the deterministic backoff jitter.
 	JitterSeed int64
+
+	// OnFailure selects the root's reaction to a dead worker: Degrade
+	// (default, fail the world with a structured error) or Restore (await a
+	// respawned incarnation).
+	OnFailure Policy
+	// RejoinWait bounds how long a Restore-policy root holds the world open
+	// for a dead rank's replacement before failing as under Degrade.
+	RejoinWait time.Duration
+	// OnDeath, when non-nil, is invoked on its own goroutine each time the
+	// root declares a rank dead under the Restore policy — the supervisor's
+	// respawn trigger for drains the process exit alone would not surface.
+	OnDeath func(rank int)
 }
 
 // Defaults for Options fields left zero.
@@ -43,6 +93,7 @@ const (
 	DefaultMaxRetries        = 5
 	DefaultBackoffBase       = 50 * time.Millisecond
 	DefaultBackoffMax        = 2 * time.Second
+	DefaultRejoinWait        = 30 * time.Second
 )
 
 func (o Options) withDefaults() Options {
@@ -66,6 +117,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.RejoinWait <= 0 {
+		o.RejoinWait = DefaultRejoinWait
 	}
 	return o
 }

@@ -74,6 +74,16 @@ func (m *Monitor) Expired(now time.Time) []int {
 	return out
 }
 
+// Revive clears a rank's dead mark so a replacement incarnation can be
+// monitored again. The rank re-enters liveness tracking at its next Touch;
+// until then it cannot re-expire.
+func (m *Monitor) Revive(rank int) {
+	m.mu.Lock()
+	delete(m.dead, rank)
+	delete(m.lastSeen, rank)
+	m.mu.Unlock()
+}
+
 // Dead reports whether rank has been declared dead.
 func (m *Monitor) Dead(rank int) bool {
 	m.mu.Lock()

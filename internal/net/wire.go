@@ -33,7 +33,7 @@ import (
 //	offset  size  field
 //	0       4     magic "OPTP"
 //	4       1     version (1)
-//	5       1     type (fHello..fCalEcho)
+//	5       1     type (fHello..fShutdown)
 //	6       2     op length (bytes of the collective op name)
 //	8       4     src rank (int32; the sender's rank id)
 //	12      8     seq (collective step index, or probe nonce)
@@ -59,16 +59,17 @@ const (
 
 // Frame types.
 const (
-	fHello   = byte(iota + 1) // worker→root: join the world (payload: helloBody)
-	fWelcome                  // root→worker: admission + calibrated model (welcomeBody)
-	fDeposit                  // worker→root: collective deposit (depositBody)
-	fResult                   // root→worker: collective result + end clock (resultBody)
-	fAbort                    // either: world failure, reconstructable error (wireFailure)
-	fDone                     // worker→root: rank program returned
-	fPing                     // root→worker: liveness probe
-	fPong                     // worker→root: liveness reply
-	fCalReq                   // root→worker: calibration echo request (sized payload)
-	fCalEcho                  // worker→root: calibration echo reply (same payload)
+	fHello    = byte(iota + 1) // worker→root: join the world (payload: helloBody)
+	fWelcome                   // root→worker: admission + calibrated model (welcomeBody)
+	fDeposit                   // worker→root: collective deposit (depositBody)
+	fResult                    // root→worker: collective result + end clock (resultBody)
+	fAbort                     // either: world failure, reconstructable error (wireFailure)
+	fDone                      // worker→root: rank program returned
+	fPing                      // root→worker: liveness probe
+	fPong                      // worker→root: liveness reply
+	fCalReq                    // root→worker: calibration echo request (sized payload)
+	fCalEcho                   // worker→root: calibration echo reply (same payload)
+	fShutdown                  // root→worker: orderly world shutdown (payload: reason text)
 )
 
 // Frame is one decoded wire frame.
@@ -154,7 +155,7 @@ func decodeFramePrefix(buf []byte) (*Frame, int, error) {
 		return nil, 0, fmt.Errorf("%w: %d", ErrFrameVersion, buf[4])
 	}
 	ftype := buf[5]
-	if ftype < fHello || ftype > fCalEcho {
+	if ftype < fHello || ftype > fShutdown {
 		return nil, 0, fmt.Errorf("%w: %d", ErrFrameType, ftype)
 	}
 	opLen := int(binary.BigEndian.Uint16(buf[6:8]))
@@ -208,7 +209,7 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		return nil, fmt.Errorf("%w: %d", ErrFrameVersion, hdr[4])
 	}
 	ftype := hdr[5]
-	if ftype < fHello || ftype > fCalEcho {
+	if ftype < fHello || ftype > fShutdown {
 		return nil, fmt.Errorf("%w: %d", ErrFrameType, ftype)
 	}
 	opLen := int(binary.BigEndian.Uint16(hdr[6:8]))

@@ -31,6 +31,7 @@ package optipart
 import (
 	"math/rand"
 
+	"optipart/internal/ckpt"
 	"optipart/internal/comm"
 	"optipart/internal/fault"
 	"optipart/internal/fem"
@@ -224,6 +225,75 @@ func DialRoot(endpoint string, rank, p int, opts WireOptions) (*WireWorker, erro
 // given transport — the per-process counterpart of RunChecked.
 func RunRank(rank, p int, model CostModel, t Transport, opts CheckedOptions, f func(c *Comm) error) (*Stats, error) {
 	return comm.RunRank(rank, p, model, t, opts, f)
+}
+
+// Self-healing runtime. A checkpointed campaign (internal/ckpt) snapshots
+// the world placement at step boundaries; under the Restore failure policy
+// the wire root holds a dead rank's slot open for RejoinWait, a supervisor
+// respawns the worker under a RespawnBudget, and the replacement rejoins
+// with a higher incarnation number via DialRootResume — the root replays
+// the results it is owed and the campaign finishes bit-identical to a
+// fault-free run. ChaosPlan drives the seeded multi-outage harness (see
+// `experiments -run chaos`).
+type (
+	FailurePolicy   = wnet.Policy
+	ShutdownError   = wnet.ShutdownError
+	JoinTimeout     = wnet.JoinTimeout
+	RecoveryStats   = comm.RecoveryStats
+	Snapshot        = ckpt.Snapshot
+	SnapshotStore   = ckpt.Store
+	SnapshotSaver   = ckpt.Saver
+	MemStore        = ckpt.MemStore
+	CampaignOptions = ckpt.CampaignOptions
+	CampaignResume  = ckpt.Resume
+	RespawnBudget   = fault.RespawnBudget
+	ChaosPlan       = fault.ChaosPlan
+	ChaosEvent      = fault.ChaosEvent
+	ChaosOptions    = fault.ChaosOptions
+	LossFlags       = fault.LossFlags
+)
+
+// Failure policies for WireOptions.OnFailure.
+const (
+	Degrade = wnet.Degrade
+	Restore = wnet.Restore
+)
+
+// ParseFailurePolicy maps "degrade"/"restore" flag values to a policy.
+func ParseFailurePolicy(s string) (FailurePolicy, error) { return wnet.ParsePolicy(s) }
+
+// ResumeNone marks a fresh (non-restored) dial.
+const ResumeNone = wnet.ResumeNone
+
+// DialRootResume is DialRoot for a restored incarnation: resume is the
+// snapshot's collective sequence number (the root replays every logged
+// result at or after it) and inc must exceed the dead incarnation's number
+// (fresh workers are incarnation 0).
+func DialRootResume(endpoint string, rank, p int, resume, inc uint64, opts WireOptions) (*WireWorker, error) {
+	return wnet.DialResume(endpoint, rank, p, resume, inc, opts)
+}
+
+// NewSnapshotStore opens (creating if needed) an on-disk snapshot store.
+func NewSnapshotStore(dir string) (*SnapshotStore, error) { return ckpt.NewStore(dir) }
+
+// NewMemStore builds an in-memory snapshot store for tests and harnesses.
+func NewMemStore() *MemStore { return ckpt.NewMemStore() }
+
+// RunCampaign executes a checkpointed multi-step refinement campaign on
+// this rank. Collective.
+func RunCampaign(c *Comm, res CampaignResume, opts CampaignOptions) (ckpt.CampaignResult, error) {
+	return ckpt.RunCampaign(c, res, opts)
+}
+
+// FreshCampaign is the Resume of a brand-new campaign.
+func FreshCampaign() CampaignResume { return ckpt.Fresh() }
+
+// ResumeCampaign slices rank's restart state out of a snapshot.
+func ResumeCampaign(s *Snapshot, rank int) (CampaignResume, error) { return ckpt.ResumeFrom(s, rank) }
+
+// RandomChaosPlan draws a deterministic chaos schedule for a p-rank world.
+func RandomChaosPlan(seed int64, p int, opts ChaosOptions) (*ChaosPlan, error) {
+	return fault.RandomChaosPlan(seed, p, opts)
 }
 
 // Trace is a per-rank virtual timeline of a traced run.

@@ -10,8 +10,13 @@
 # together with the wire round-trip microbenches (in-process vs unix vs TCP
 # loopback, internal/net) into BENCH_6.json.
 #
-#   ./scripts/bench.sh                     # writes BENCH_3/5/6.json
-#   ./scripts/bench.sh a.json b.json c.json # write elsewhere
+# A fourth pass runs the failure-recovery benches (internal/net): per-policy
+# end-to-end latency from a worker's death to the root's structured error
+# (degrade) or to a respawned worker's completed rejoin (restore), into
+# BENCH_7.json.
+#
+#   ./scripts/bench.sh                             # writes BENCH_3/5/6/7.json
+#   ./scripts/bench.sh a.json b.json c.json d.json # write elsewhere
 #
 # To re-record the worker baseline on a new host, pin the widths first:
 #   OPTIPART_BENCH_WORKERS=1,4 go test -run '^$' \
@@ -22,6 +27,7 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_3.json}
 out5=${2:-BENCH_5.json}
 out6=${3:-BENCH_6.json}
+out7=${4:-BENCH_7.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -55,3 +61,12 @@ go run ./cmd/benchfmt -baseline scripts/bench_baseline_5.txt -out "$out6" \
     -note "PR 6 record: the PR 5 worker-pool benches re-run (paired against scripts/bench_baseline_5.txt) plus the wire round-trip microbenches. RoundTrip* measures one two-rank 8-byte allreduce per op — Inproc is the default single-process backend (barrier only), Unix/TCP are the real multi-process transport (frame encode + FNV checksum + gob + socket round trip + result broadcast), so the gap is the true per-collective cost of leaving the process. Host caveat: this capture also ran on a GOMAXPROCS=1 host, so the workers=N parallel speedups remain unproven here; on a >=4-core host expect TreeSortLarge/workers=4 at >=1.8x over workers=1." \
     "$tmp/workers.txt" "$tmp/wire.txt"
 go run ./cmd/benchfmt -check "$out6"
+
+echo "==> failure-recovery benchmarks (death -> detection / death -> completed rejoin)"
+go test -run '^$' -bench 'Recovery' -benchtime 5x ./internal/net | tee "$tmp/recovery.txt"
+
+echo "==> formatting $out7"
+go run ./cmd/benchfmt -out "$out7" \
+    -note "PR 7 record: per-policy recovery latency over the real unix-socket transport (two ranks, worker hard-killed mid-campaign), alongside the wire round-trip numbers for scale. RecoveryDegrade's detect-ns/op is death -> root's structured RankFailure (lower-bounded by the 50ms heartbeat timeout the bench configures); RecoveryRestore's mttr-ns/op is the root-observed downtime from declared death to the respawned worker's completed rejoin (replay from the result log, no heartbeat wait on the rejoin path, hence the ~three-orders gap). No recovery baseline: these paths are new in this PR." \
+    "$tmp/recovery.txt" "$tmp/wire.txt"
+go run ./cmd/benchfmt -check "$out7"

@@ -45,10 +45,11 @@ echo "==> hot-path benchmark smoke"
 go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
 go test -run '^$' -bench 'Transport' -benchtime 1x ./internal/comm
 
-echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json parse"
+echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json / BENCH_7.json parse"
 go run ./cmd/benchfmt -check BENCH_3.json
 go run ./cmd/benchfmt -check BENCH_5.json
 go run ./cmd/benchfmt -check BENCH_6.json
+go run ./cmd/benchfmt -check BENCH_7.json
 
 echo "==> optipartd multi-process smoke (4 ranks, kill one, recover)"
 # Hermetic: workers rendezvous over unix sockets in a private temp dir, no
@@ -69,6 +70,31 @@ if ! "$smokedir/optipartd" -launch -p 4 -n 6000 -kill 2@3 -deadline 90s \
 fi
 grep -q "structured failure as expected" "$smokelog"
 grep -q "recovery on 3 survivors completed" "$smokelog"
+
+echo "==> optipartd self-healing smoke (restore policy: kill, respawn, resume)"
+# Same hermetic setup, -on-failure=restore: the victim hard-exits mid-campaign,
+# the supervisor respawns it under the backoff budget, the replacement restores
+# from the newest checkpoint, and the finished campaign's digest must be
+# byte-identical to the fault-free golden the driver computes up front.
+restorelog="$smokedir/restore.log"
+if ! "$smokedir/optipartd" -launch -p 3 -n 3000 -steps 4 -on-failure=restore \
+        -kill 2@30 -deadline 90s -socket "$smokedir" >"$restorelog" 2>&1; then
+    echo "optipartd restore smoke failed:" >&2
+    cat "$restorelog" >&2
+    rm -rf "$smokedir"
+    exit 1
+fi
+grep -q "supervisor: respawned rank" "$restorelog"
+grep -q "restoring from epoch" "$restorelog"
+grep -q "digest matches fault-free golden" "$restorelog"
 rm -rf "$smokedir"
+
+echo "==> chaos harness smoke (5 fixed seeds, quick sizes, short deadline)"
+# Each seed draws a distinct kill/drain/loss/straggler schedule; every one
+# must end in a campaign whose digest matches its fault-free golden. timeout
+# guards the gate itself: a wedged harness fails fast instead of hanging CI.
+for seed in 1 2 3 4 5; do
+    timeout 120 go run ./cmd/experiments -run chaos -quick -seed "$seed" >/dev/null
+done
 
 echo "CI OK"
