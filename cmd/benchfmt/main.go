@@ -32,6 +32,14 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
+
+	// Throughput metrics emitted by cmd/loadgen alongside ns/op. HitRate
+	// is a pointer so a measured rate of exactly 0 (the miss-heavy mix)
+	// still lands in the record.
+	ReqPerSec float64  `json:"req_per_sec,omitempty"`
+	P50Ns     float64  `json:"p50_ns_per_op,omitempty"`
+	P99Ns     float64  `json:"p99_ns_per_op,omitempty"`
+	HitRate   *float64 `json:"hit_rate,omitempty"`
 }
 
 // Entry pairs a current measurement with its baseline, when one exists.
@@ -39,9 +47,10 @@ type Result struct {
 // allocations eliminated) is still recorded.
 type Entry struct {
 	Result
-	Baseline    *Result  `json:"baseline,omitempty"`
-	Speedup     *float64 `json:"speedup,omitempty"`      // baseline ns/op ÷ current ns/op
-	AllocsRatio *float64 `json:"allocs_ratio,omitempty"` // current allocs/op ÷ baseline allocs/op
+	Baseline        *Result  `json:"baseline,omitempty"`
+	Speedup         *float64 `json:"speedup,omitempty"`          // baseline ns/op ÷ current ns/op
+	AllocsRatio     *float64 `json:"allocs_ratio,omitempty"`     // current allocs/op ÷ baseline allocs/op
+	ThroughputRatio *float64 `json:"throughput_ratio,omitempty"` // current req/s ÷ baseline req/s
 }
 
 // File is the BENCH_<n>.json schema.
@@ -111,6 +120,10 @@ func main() {
 				v := round3(float64(r.AllocsPerOp) / float64(b.AllocsPerOp))
 				e.AllocsRatio = &v
 			}
+			if b.ReqPerSec > 0 && r.ReqPerSec > 0 {
+				v := round3(r.ReqPerSec / b.ReqPerSec)
+				e.ThroughputRatio = &v
+			}
 		}
 		f.Benchmarks = append(f.Benchmarks, e)
 	}
@@ -147,6 +160,18 @@ func checkFile(path string) error {
 	for _, e := range f.Benchmarks {
 		if e.Name == "" || e.NsPerOp <= 0 {
 			return fmt.Errorf("%s: malformed entry %+v", path, e.Result)
+		}
+		// Throughput entries must be internally complete: a req/s figure
+		// without its latency percentiles (or vice versa) means the
+		// loadgen output was truncated mid-line.
+		hasThroughput := e.ReqPerSec > 0 || e.P50Ns > 0 || e.P99Ns > 0 || e.HitRate != nil
+		if hasThroughput {
+			if e.ReqPerSec <= 0 || e.P50Ns <= 0 || e.P99Ns <= 0 || e.HitRate == nil {
+				return fmt.Errorf("%s: incomplete throughput entry %+v", path, e.Result)
+			}
+			if *e.HitRate < 0 || *e.HitRate > 1 {
+				return fmt.Errorf("%s: hit rate %v out of [0,1] in %+v", path, *e.HitRate, e.Result)
+			}
 		}
 	}
 	return nil
@@ -214,6 +239,15 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		case "req/s":
+			r.ReqPerSec = v
+		case "p50-ns/op":
+			r.P50Ns = v
+		case "p99-ns/op":
+			r.P99Ns = v
+		case "hit-rate":
+			v := v
+			r.HitRate = &v
 		}
 	}
 	if r.NsPerOp == 0 {

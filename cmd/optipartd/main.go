@@ -4,11 +4,19 @@
 // failure detection), and a dead process surfaces to the survivors as a
 // structured *optipart.RankFailure instead of a hang.
 //
-// Three modes:
+// Four modes:
 //
 //	optipartd -listen unix:/tmp/opt.sock -p 4         # root: hosts rank 0
 //	optipartd -connect unix:/tmp/opt.sock -rank 2 -p 4 # worker: one rank
 //	optipartd -launch -p 4 -kill 2@3                   # driver: full demo
+//	optipartd -serve unix:/tmp/svc.sock -slots 2       # partition service
+//
+// -serve runs the long-lived partitioning service (see internal/service):
+// clients connect and exchange gob WireRequest/WireResponse pairs; the
+// service canonicalizes and content-hashes each octree, serves repeats from
+// its cache, coalesces concurrent identical requests, and schedules misses
+// across -slots execution slots fairly per tenant. Drive it with
+// `loadgen -connect`.
 //
 // The driver demos both failure policies. Under -on-failure=degrade (the
 // default) phase 1 hard-kills the victim mid-campaign, which must surface
@@ -69,6 +77,10 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "root/driver mode: measure ts/tw/tc over the live transport and announce the measured model")
 		hardkill  = flag.Int("hardkill", -1, "worker mode: exit(43) at this rank's k-th collective (fault injection; -1 = never)")
 
+		serve     = flag.String("serve", "", "service mode: endpoint to serve partition requests on (unix:/path.sock or tcp:host:port)")
+		slots     = flag.Int("slots", 2, "service mode: concurrent partition computations admitted")
+		cacheKeys = flag.Int("cache-keys", 0, "service mode: cache bound in total canonical keys (0 = default 4Mi)")
+
 		onFailure   = flag.String("on-failure", "degrade", "root/driver mode: worker-death policy: degrade (fail over to survivors) or restore (respawn + rejoin from checkpoint)")
 		steps       = flag.Int("steps", 0, "campaign mode: refinement steps (0 = the classic single-partition body)")
 		ckptDir     = flag.String("ckpt", "", "campaign mode: directory for checkpoint snapshots (driver default: <socket dir>/ckpt)")
@@ -102,6 +114,8 @@ func main() {
 	}
 
 	switch {
+	case *serve != "":
+		err = serveMain(*serve, *slots, *cacheKeys)
 	case *launch:
 		installRootSignals()
 		err = driverMain(pr, *p, *kill, *socket, *deadline, *calibrate, policy, *ckptDir)
@@ -111,7 +125,7 @@ func main() {
 	case *connect != "":
 		err = workerMain(pr, *connect, *rank, *p, *hardkill, *ckptDir, *incarnation)
 	default:
-		err = errors.New("pick a mode: -launch, -listen, or -connect (see -help)")
+		err = errors.New("pick a mode: -serve, -launch, -listen, or -connect (see -help)")
 	}
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,178 @@
+package alloc
+
+import (
+	"errors"
+	"sync"
+)
+
+// errUnbalancedRelease reports a Release not paired with an Acquire.
+var errUnbalancedRelease = errors.New("alloc: FairQueue.Release without matching Acquire")
+
+// FairQueue is the admission scheduler for the partitioning service: a
+// bounded pool of execution slots shared by competing tenants, granted in
+// least-attained-service order. Each tenant (a campaign, a client, a load
+// class — any string the caller picks) accumulates the service it has
+// consumed; when a slot frees, the waiting tenant with the least attained
+// service wins it, FIFO within a tenant, with deterministic tie-breaks
+// (lexicographically smaller tenant first, then arrival order). A tenant
+// that hammers the service with expensive requests therefore cannot starve
+// a light interactive tenant: the light tenant's attained service stays
+// low, so its requests jump the heavy tenant's backlog.
+//
+// The queue is built on a mutex and a condition variable only — no
+// channels, no goroutines of its own — so it composes with the repo's
+// determinism rules and can be exercised single-threaded in tests.
+type FairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	slots int // total execution slots
+	used  int // slots currently granted
+
+	attained map[string]uint64 // tenant -> total service units consumed
+	waiting  map[string]int    // tenant -> waiters parked in Acquire
+	arrivals uint64            // global arrival counter for FIFO tickets
+
+	// head ticket per tenant: a waiter may only win a slot if it holds the
+	// oldest outstanding ticket of its tenant (FIFO within tenant).
+	tickets map[string][]uint64
+
+	closed bool
+}
+
+// NewFairQueue returns a queue with the given number of execution slots.
+// slots < 1 is treated as 1.
+func NewFairQueue(slots int) *FairQueue {
+	if slots < 1 {
+		slots = 1
+	}
+	q := &FairQueue{
+		slots:    slots,
+		attained: map[string]uint64{},
+		waiting:  map[string]int{},
+		tickets:  map[string][]uint64{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Acquire blocks until the caller holds an execution slot, then returns
+// true. It returns false (without a slot) if the queue is closed while
+// waiting. Callers must pair every successful Acquire with Release.
+func (q *FairQueue) Acquire(tenant string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	ticket := q.arrivals
+	q.arrivals++
+	q.tickets[tenant] = append(q.tickets[tenant], ticket)
+	q.waiting[tenant]++
+	for !q.closed && !q.eligibleLocked(tenant, ticket) {
+		q.cond.Wait()
+	}
+	q.waiting[tenant]--
+	q.dropTicketLocked(tenant, ticket)
+	if q.closed {
+		q.cond.Broadcast()
+		return false
+	}
+	q.used++
+	return true
+}
+
+// eligibleLocked reports whether the waiter (tenant, ticket) should win a
+// free slot now: a slot is free, the ticket is the tenant's oldest, and no
+// other waiting tenant has strictly higher priority.
+func (q *FairQueue) eligibleLocked(tenant string, ticket uint64) bool {
+	if q.used >= q.slots {
+		return false
+	}
+	ts := q.tickets[tenant]
+	if len(ts) == 0 || ts[0] != ticket {
+		return false // FIFO within tenant: only the head ticket competes.
+	}
+	mine := q.attained[tenant]
+	for other, n := range q.waiting {
+		if n == 0 || other == tenant {
+			continue
+		}
+		oa := q.attained[other]
+		if oa < mine || (oa == mine && other < tenant) {
+			return false
+		}
+	}
+	return true
+}
+
+// dropTicketLocked removes the waiter's ticket from its tenant's FIFO.
+func (q *FairQueue) dropTicketLocked(tenant string, ticket uint64) {
+	ts := q.tickets[tenant]
+	for i, t := range ts {
+		if t == ticket {
+			ts = append(ts[:i], ts[i+1:]...)
+			break
+		}
+	}
+	if len(ts) == 0 {
+		delete(q.tickets, tenant)
+	} else {
+		q.tickets[tenant] = ts
+	}
+}
+
+// Release returns a slot and charges cost service units to the tenant.
+// Cost is whatever unit the caller accounts in (keys sorted, nanoseconds,
+// trials run); it only needs to be comparable across tenants. cost < 1 is
+// charged as 1 so every completed request advances the tenant's attained
+// service and ties cannot persist forever.
+func (q *FairQueue) Release(tenant string, cost uint64) {
+	if cost < 1 {
+		cost = 1
+	}
+	q.mu.Lock()
+	q.used--
+	if q.used < 0 {
+		q.mu.Unlock()
+		panic(errUnbalancedRelease)
+	}
+	q.attained[tenant] += cost
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Attained returns the service units charged to tenant so far.
+func (q *FairQueue) Attained(tenant string) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.attained[tenant]
+}
+
+// InUse returns the number of currently granted slots.
+func (q *FairQueue) InUse() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.used
+}
+
+// Waiting returns the number of waiters parked in Acquire.
+func (q *FairQueue) Waiting() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, w := range q.waiting {
+		n += w
+	}
+	return n
+}
+
+// Close wakes every waiter with a failed acquisition and makes future
+// Acquires fail immediately. Slots already granted remain valid; their
+// Releases still balance the books.
+func (q *FairQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

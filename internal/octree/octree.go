@@ -53,8 +53,16 @@ func Linearize(curve *sfc.Curve, keys []sfc.Key) []sfc.Key {
 		return keys
 	}
 	Sort(curve, keys)
-	// In pre-order an ancestor immediately precedes its first descendant
-	// block, so a single backward pass removes ancestors and duplicates.
+	return LinearizeSorted(keys)
+}
+
+// LinearizeSorted removes duplicates and ancestors from keys already sorted
+// along a curve, in place and without allocating: in pre-order an ancestor
+// immediately precedes its first descendant block, so a single forward pass
+// peeking one element ahead removes both. It returns the sanitized prefix of
+// the input's backing array. Callers that sorted with psort.TreeSortArena
+// get a fully allocation-free canonicalization path.
+func LinearizeSorted(keys []sfc.Key) []sfc.Key {
 	out := keys[:0]
 	for i, k := range keys {
 		if i+1 < len(keys) {

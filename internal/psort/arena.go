@@ -1,0 +1,95 @@
+package psort
+
+import (
+	"sync"
+
+	"optipart/internal/sfc"
+)
+
+// Arena is the struct-of-arrays working set of a TreeSort: the key column,
+// the linearized-rank column, and a scratch pair of the same shape for the
+// radix distribution passes. Splitting the old 32-byte keyRank record into
+// two parallel columns keeps the digit-counting passes on a dense stream of
+// ranks (16 bytes per element instead of a 32-byte stride) while the keys
+// move only during scatters.
+//
+// An Arena is reused across sorts: the service layer keeps one per request
+// slot so the steady-state cache-hit path allocates nothing, and the plain
+// TreeSort entry point draws arenas from a process-wide pool. Growth is
+// bounded — Trim releases any column that one outsized sort inflated past
+// MaxArenaKeys, so an arena (pooled or per-request) can never pin more than
+// ~16 MiB of working set for the process lifetime.
+//
+// An Arena is not safe for concurrent use; the parallel sort paths share it
+// only through the disjoint chunk writes of internal/par.
+type Arena struct {
+	keys  []sfc.Key
+	ranks []sfc.Rank128
+	kAlt  []sfc.Key
+	rAlt  []sfc.Rank128
+}
+
+// MaxArenaKeys caps the per-column capacity an Arena retains after Trim:
+// 2^19 elements × 32 B across the rank+key columns = 16 MiB, the same bound
+// the retired pair pool enforced (maxPooledPairs). A sort larger than this
+// still works — the columns grow for its duration — but Trim hands the
+// oversized backing arrays to the collector instead of pinning them.
+const MaxArenaKeys = 1 << 19
+
+// grow ensures every column holds at least n elements.
+func (a *Arena) grow(n int) {
+	if cap(a.ranks) < n {
+		a.ranks = make([]sfc.Rank128, n)
+		a.rAlt = make([]sfc.Rank128, n)
+	}
+	if cap(a.kAlt) < n {
+		a.kAlt = make([]sfc.Key, n)
+	}
+	a.ranks = a.ranks[:n]
+	a.rAlt = a.rAlt[:n]
+	a.kAlt = a.kAlt[:n]
+}
+
+// growKeys ensures the arena-owned key column holds at least n elements
+// (callers that sort their own slice never touch it).
+func (a *Arena) growKeys(n int) {
+	if cap(a.keys) < n {
+		a.keys = make([]sfc.Key, 0, n)
+	}
+	a.keys = a.keys[:n]
+}
+
+// Keys returns the arena-owned key column resized to n, for callers that
+// copy a request in before canonicalizing it. The contents are undefined.
+func (a *Arena) Keys(n int) []sfc.Key {
+	a.growKeys(n)
+	return a.keys
+}
+
+// Trim releases any column that grew past MaxArenaKeys. Call it when a sort
+// (or a service request) finishes: bounded columns are kept warm for the
+// next use, outsized ones go to the collector.
+func (a *Arena) Trim() {
+	if cap(a.ranks) > MaxArenaKeys {
+		a.ranks, a.rAlt = nil, nil
+	}
+	if cap(a.kAlt) > MaxArenaKeys {
+		a.kAlt = nil
+	}
+	if cap(a.keys) > MaxArenaKeys {
+		a.keys = nil
+	}
+}
+
+// arenaPool recycles arenas across plain TreeSort calls. Partitioning
+// campaigns sort on every rank of every trial; pooling keeps the
+// steady-state allocation count at zero. putArena trims first, so the pool
+// inherits the same oversized-buffer bound the old pair pool had.
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+func getArena() *Arena { return arenaPool.Get().(*Arena) }
+
+func putArena(a *Arena) {
+	a.Trim()
+	arenaPool.Put(a)
+}

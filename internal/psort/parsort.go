@@ -26,27 +26,27 @@ func parallelOK(n int) bool {
 	return n >= parallelCutoff && par.Workers() > 1
 }
 
-// parRadixSortRanks is radixSortRanks with the digit-counting and scatter
+// parRadixSortSoA is radixSortSoA with the digit-counting and scatter
 // passes chunked across the pool and the 256 sub-buckets recursed in
 // parallel. The scatter computes each chunk's per-bucket start as the
 // bucket's global offset plus the counts of all earlier chunks — exactly
 // the positions the serial stable scatter assigns — so the output
 // permutation is byte-identical to the serial sort at every worker count.
-func parRadixSortRanks(a, scratch []keyRank, d int) {
+func parRadixSortSoA(keys []sfc.Key, ranks []sfc.Rank128, kAlt []sfc.Key, rAlt []sfc.Rank128, d int) {
 	for {
-		if len(a) < parallelCutoff || par.Workers() == 1 {
-			radixSortRanks(a, scratch, d)
+		if len(ranks) < parallelCutoff || par.Workers() == 1 {
+			radixSortSoA(keys, ranks, kAlt, rAlt, d)
 			return
 		}
 		if d >= sfc.RankDigits {
 			return // full ranks equal: keys equal, nothing to order
 		}
-		nc := par.NumChunks(len(a), radixGrain)
+		nc := par.NumChunks(len(ranks), radixGrain)
 		chunkCounts := make([][256]int, nc)
-		par.ForChunks(len(a), radixGrain, func(c, lo, hi int) {
+		par.ForChunks(len(ranks), radixGrain, func(c, lo, hi int) {
 			cnt := &chunkCounts[c]
 			for i := lo; i < hi; i++ {
-				cnt[a[i].rank.Digit(d)]++
+				cnt[ranks[i].Digit(d)]++
 			}
 		})
 		var counts [256]int
@@ -57,7 +57,7 @@ func parRadixSortRanks(a, scratch []keyRank, d int) {
 		}
 		// A digit shared by every element (common ancestor prefix, level
 		// padding) needs no data movement: advance to the next digit.
-		if counts[a[0].rank.Digit(d)] == len(a) {
+		if counts[ranks[0].Digit(d)] == len(ranks) {
 			d++
 			continue
 		}
@@ -76,21 +76,23 @@ func parRadixSortRanks(a, scratch []keyRank, d int) {
 				run[b] += chunkCounts[c][b]
 			}
 		}
-		par.ForChunks(len(a), radixGrain, func(c, lo, hi int) {
+		par.ForChunks(len(ranks), radixGrain, func(c, lo, hi int) {
 			st := &starts[c]
 			for i := lo; i < hi; i++ {
-				b := a[i].rank.Digit(d)
-				scratch[st[b]] = a[i]
+				b := ranks[i].Digit(d)
+				rAlt[st[b]] = ranks[i]
+				kAlt[st[b]] = keys[i]
 				st[b]++
 			}
 		})
-		par.For(len(a), radixGrain, func(lo, hi int) {
-			copy(a[lo:hi], scratch[lo:hi])
+		par.For(len(ranks), radixGrain, func(lo, hi int) {
+			copy(ranks[lo:hi], rAlt[lo:hi])
+			copy(keys[lo:hi], kAlt[lo:hi])
 		})
 		par.For(256, 1, func(blo, bhi int) {
 			for b := blo; b < bhi; b++ {
 				if lo, hi := offs[b], offs[b+1]; hi-lo > 1 {
-					parRadixSortRanks(a[lo:hi], scratch[lo:hi], d+1)
+					parRadixSortSoA(keys[lo:hi], ranks[lo:hi], kAlt[lo:hi], rAlt[lo:hi], d+1)
 				}
 			}
 		})

@@ -105,58 +105,94 @@ func TestParallelTreeSortMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestParRadixSortRanksDirect exercises parRadixSortRanks below its own
-// gate logic: even when invoked directly on a wide pool it must reproduce
-// the serial permutation.
-func TestParRadixSortRanksDirect(t *testing.T) {
+// TestParRadixSortSoADirect exercises parRadixSortSoA below its own gate
+// logic: even when invoked directly on a wide pool it must reproduce the
+// serial permutation of both columns.
+func TestParRadixSortSoADirect(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	curve := sfc.NewCurve(sfc.Hilbert, 3)
 	keys := octree.RandomKeys(rng, parallelCutoff+513, 3, octree.Normal, 0, 14)
-	mk := func() []keyRank {
-		prs := make([]keyRank, len(keys))
+	mk := func() ([]sfc.Key, []sfc.Rank128) {
+		ks := append([]sfc.Key(nil), keys...)
+		rs := make([]sfc.Rank128, len(keys))
 		for i, k := range keys {
-			prs[i] = keyRank{key: k, rank: curve.Rank(k)}
+			rs[i] = curve.Rank(k)
 		}
-		return prs
+		return ks, rs
 	}
-	want := mk()
-	radixSortRanks(want, make([]keyRank, len(want)), 0)
+	wantK, wantR := mk()
+	radixSortSoA(wantK, wantR, make([]sfc.Key, len(wantK)), make([]sfc.Rank128, len(wantR)), 0)
 	for _, w := range sortWorkerCounts() {
-		got := mk()
+		gotK, gotR := mk()
 		prev := par.SetWorkers(w)
-		parRadixSortRanks(got, make([]keyRank, len(got)), 0)
+		parRadixSortSoA(gotK, gotR, make([]sfc.Key, len(gotK)), make([]sfc.Rank128, len(gotR)), 0)
 		par.SetWorkers(prev)
-		for i := range want {
-			if got[i] != want[i] {
+		for i := range wantK {
+			if gotK[i] != wantK[i] || gotR[i] != wantR[i] {
 				t.Fatalf("workers=%d: record %d differs", w, i)
 			}
 		}
 	}
 }
 
-// TestPooledPairCapacityBounded is the sync.Pool retention regression test:
-// a buffer above maxPooledPairs must not survive putPairs, so one huge sort
-// cannot pin its working arrays for the process lifetime.
-func TestPooledPairCapacityBounded(t *testing.T) {
-	huge := make([]keyRank, maxPooledPairs+1)
-	putPairs(&huge)
-	// If putPairs had pooled it, the next Get on this P would hand the huge
-	// buffer straight back.
-	for i := 0; i < 64; i++ {
-		p := getPairs(8)
-		if cap(*p) > maxPooledPairs {
-			t.Fatalf("pool returned buffer with cap %d > maxPooledPairs %d", cap(*p), maxPooledPairs)
-		}
-		putPairs(p)
+// TestArenaCapacityBounded is the retention regression test ported from the
+// retired pair pool: a column inflated past MaxArenaKeys must not survive
+// Trim, so one huge sort cannot pin its working arrays for the process
+// lifetime — neither in the shared arena pool nor in a service-held arena.
+func TestArenaCapacityBounded(t *testing.T) {
+	var a Arena
+	a.grow(MaxArenaKeys + 1)
+	a.growKeys(MaxArenaKeys + 1)
+	a.Trim()
+	if cap(a.ranks) != 0 || cap(a.kAlt) != 0 || cap(a.keys) != 0 {
+		t.Fatalf("Trim retained oversized columns: ranks=%d kAlt=%d keys=%d",
+			cap(a.ranks), cap(a.kAlt), cap(a.keys))
 	}
-	// Bounded buffers are still recycled: TreeSort keeps working after the
-	// cap rejection.
+	// The pool inherits the bound through putArena.
+	huge := &Arena{}
+	huge.grow(MaxArenaKeys + 1)
+	putArena(huge)
+	for i := 0; i < 64; i++ {
+		p := getArena()
+		if cap(p.ranks) > MaxArenaKeys || cap(p.kAlt) > MaxArenaKeys {
+			t.Fatalf("pool returned arena with cap ranks=%d kAlt=%d > MaxArenaKeys %d",
+				cap(p.ranks), cap(p.kAlt), MaxArenaKeys)
+		}
+		putArena(p)
+	}
+	// Bounded columns are still recycled: TreeSort keeps working after the
+	// cap rejection, and a trimmed arena regrows on demand.
 	rng := rand.New(rand.NewSource(5))
 	curve := sfc.NewCurve(sfc.Morton, 3)
 	keys := octree.RandomKeys(rng, 4096, 3, octree.Uniform, 0, 10)
 	TreeSort(curve, keys)
 	if !IsSorted(curve, keys) {
 		t.Fatal("TreeSort output not sorted after pool-cap exercise")
+	}
+	TreeSortArena(curve, keys, &a)
+	if !IsSorted(curve, keys) {
+		t.Fatal("TreeSortArena output not sorted after Trim")
+	}
+}
+
+// TestTreeSortArenaMatchesTreeSort: the arena entry point must produce the
+// identical permutation as the pooled one, and reusing one arena across
+// sorts of varying sizes must not corrupt results.
+func TestTreeSortArenaMatchesTreeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	var a Arena
+	for _, n := range []int{0, 1, 2, insertionCutoff + 1, 4096, parallelCutoff + 7, 100} {
+		keys := octree.RandomKeys(rng, n, 3, octree.Normal, 0, 14)
+		want := append([]sfc.Key(nil), keys...)
+		TreeSort(curve, want)
+		got := append([]sfc.Key(nil), keys...)
+		TreeSortArena(curve, got, &a)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: arena sort differs at %d", n, i)
+			}
+		}
 	}
 }
 

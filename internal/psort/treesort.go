@@ -16,7 +16,6 @@ package psort
 
 import (
 	"math"
-	"sync"
 
 	"optipart/internal/comm"
 	"optipart/internal/par"
@@ -32,42 +31,6 @@ const KeyBytes = 16
 // with another counting pass.
 const insertionCutoff = 24
 
-// keyRank pairs a key with its linearized curve rank. The radix sorter moves
-// these 32-byte records so ranks are computed once per key, never per
-// comparison.
-type keyRank struct {
-	key  sfc.Key
-	rank sfc.Rank128
-}
-
-// pairPool recycles the keyRank working and scratch arrays across TreeSort
-// calls. Partitioning campaigns sort on every rank of every trial; pooling
-// makes the steady-state allocation count zero instead of two large slices
-// per sort.
-var pairPool = sync.Pool{New: func() any { return new([]keyRank) }}
-
-// maxPooledPairs caps the capacity a returned buffer may have and still be
-// pooled: 2^19 records × 32 B = 16 MiB. One outsized sort used to pin its
-// working arrays in the pool for the process lifetime; now its buffers are
-// simply released to the collector.
-const maxPooledPairs = 1 << 19
-
-func getPairs(n int) *[]keyRank {
-	p := pairPool.Get().(*[]keyRank)
-	if cap(*p) < n {
-		*p = make([]keyRank, n)
-	}
-	*p = (*p)[:n]
-	return p
-}
-
-func putPairs(p *[]keyRank) {
-	if cap(*p) > maxPooledPairs {
-		return
-	}
-	pairPool.Put(p)
-}
-
 // TreeSort reorders keys in place into curve order (Algorithm 1). It is a
 // most-significant-digit radix sort over linearized curve ranks: bucketing
 // on rank bytes visits octree nodes in SFC order exactly as the tree-walking
@@ -80,55 +43,59 @@ func TreeSort(curve *sfc.Curve, keys []sfc.Key) {
 	if len(keys) < 2 {
 		return
 	}
-	pairsP := getPairs(len(keys))
-	scratchP := getPairs(len(keys))
-	pairs, scratch := *pairsP, *scratchP
+	a := getArena()
+	TreeSortArena(curve, keys, a)
+	putArena(a)
+}
+
+// TreeSortArena is TreeSort against a caller-owned Arena: the rank column
+// and both scratch columns come from a, so a caller that reuses its arena
+// across sorts (the service request path) performs zero steady-state
+// allocations. keys itself is the key column — it is permuted in place.
+func TreeSortArena(curve *sfc.Curve, keys []sfc.Key, a *Arena) {
+	if len(keys) < 2 {
+		return
+	}
+	a.grow(len(keys))
+	ranks := a.ranks[:len(keys)]
 	if parallelOK(len(keys)) {
 		// The parallel path produces the identical permutation (stable
-		// chunked scatter, see parRadixSortRanks); curves are immutable and
+		// chunked scatter, see parRadixSortSoA); curves are immutable and
 		// safe for concurrent Rank calls.
 		par.For(len(keys), rankGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				pairs[i] = keyRank{key: keys[i], rank: curve.Rank(keys[i])}
+				ranks[i] = curve.Rank(keys[i])
 			}
 		})
-		parRadixSortRanks(pairs, scratch, 0)
-		par.For(len(keys), rankGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				keys[i] = pairs[i].key
-			}
-		})
+		parRadixSortSoA(keys, ranks, a.kAlt[:len(keys)], a.rAlt[:len(keys)], 0)
 	} else {
 		for i, k := range keys {
-			pairs[i] = keyRank{key: k, rank: curve.Rank(k)}
+			ranks[i] = curve.Rank(k)
 		}
-		radixSortRanks(pairs, scratch, 0)
-		for i := range pairs {
-			keys[i] = pairs[i].key
-		}
+		radixSortSoA(keys, ranks, a.kAlt[:len(keys)], a.rAlt[:len(keys)], 0)
 	}
-	putPairs(pairsP)
-	putPairs(scratchP)
 }
 
-// radixSortRanks sorts a by rank with an MSD byte-radix, using scratch
-// (same length as a) for the distribution pass, starting at rank digit d.
-func radixSortRanks(a, scratch []keyRank, d int) {
+// radixSortSoA sorts the parallel (keys, ranks) columns by rank with an MSD
+// byte-radix, using the same-length scratch columns for the distribution
+// pass, starting at rank digit d. Counting reads only the dense rank column;
+// keys move only in the scatter.
+func radixSortSoA(keys []sfc.Key, ranks []sfc.Rank128, kAlt []sfc.Key, rAlt []sfc.Rank128, d int) {
 	for {
-		if len(a) <= insertionCutoff {
-			insertionSortRanks(a)
+		if len(ranks) <= insertionCutoff {
+			insertionSortSoA(keys, ranks)
 			return
 		}
 		if d >= sfc.RankDigits {
 			return // full ranks equal: keys equal, nothing to order
 		}
 		var counts [256]int
-		for i := range a {
-			counts[a[i].rank.Digit(d)]++
+		for i := range ranks {
+			counts[ranks[i].Digit(d)]++
 		}
 		// A digit shared by every element (common ancestor prefix, level
 		// padding) needs no data movement: advance to the next digit.
-		if counts[a[0].rank.Digit(d)] == len(a) {
+		if counts[ranks[0].Digit(d)] == len(ranks) {
 			d++
 			continue
 		}
@@ -137,32 +104,36 @@ func radixSortRanks(a, scratch []keyRank, d int) {
 			offs[b+1] = offs[b] + counts[b]
 		}
 		starts := offs
-		for i := range a {
-			b := a[i].rank.Digit(d)
-			scratch[starts[b]] = a[i]
+		for i := range ranks {
+			b := ranks[i].Digit(d)
+			rAlt[starts[b]] = ranks[i]
+			kAlt[starts[b]] = keys[i]
 			starts[b]++
 		}
-		copy(a, scratch[:len(a)])
+		copy(ranks, rAlt[:len(ranks)])
+		copy(keys, kAlt[:len(keys)])
 		for b := 0; b < 256; b++ {
 			if lo, hi := offs[b], offs[b+1]; hi-lo > 1 {
-				radixSortRanks(a[lo:hi], scratch[lo:hi], d+1)
+				radixSortSoA(keys[lo:hi], ranks[lo:hi], kAlt[lo:hi], rAlt[lo:hi], d+1)
 			}
 		}
 		return
 	}
 }
 
-// insertionSortRanks finishes a small bucket with branch-predictable integer
-// comparisons on the precomputed ranks.
-func insertionSortRanks(a []keyRank) {
-	for i := 1; i < len(a); i++ {
-		e := a[i]
+// insertionSortSoA finishes a small bucket with branch-predictable integer
+// comparisons on the precomputed rank column, shifting both columns in step.
+func insertionSortSoA(keys []sfc.Key, ranks []sfc.Rank128) {
+	for i := 1; i < len(ranks); i++ {
+		r, k := ranks[i], keys[i]
 		j := i - 1
-		for j >= 0 && e.rank.Less(a[j].rank) {
-			a[j+1] = a[j]
+		for j >= 0 && r.Less(ranks[j]) {
+			ranks[j+1] = ranks[j]
+			keys[j+1] = keys[j]
 			j--
 		}
-		a[j+1] = e
+		ranks[j+1] = r
+		keys[j+1] = k
 	}
 }
 

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"optipart/internal/sfc"
+)
+
+// BenchmarkCacheHit measures the steady-state hit path end to end:
+// copy-in, arena sort, linearize, digest, lookup, verify, LRU touch. The
+// acceptance bar is 0 allocs/op.
+func BenchmarkCacheHit(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			s := New(Config{})
+			defer s.Close()
+			req := baseRequest(testKeys(1, n))
+			if _, _, err := s.Do(req); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(req.Keys)) * 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, hit, err := s.Do(req)
+				if !hit || err != nil {
+					b.Fatalf("hit=%v err=%v", hit, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheMiss measures the full compute path: canonicalize, admit,
+// run the p-rank partitioning world, cache the result. The cache bound is
+// held at one key so every request recomputes.
+func BenchmarkCacheMiss(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			s := New(Config{MaxCachedKeys: 1})
+			defer s.Close()
+			req := baseRequest(testKeys(2, n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, hit, err := s.Do(req)
+				if hit || err != nil {
+					b.Fatalf("hit=%v err=%v", hit, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDigest isolates the content hash over a canonical octree.
+func BenchmarkDigest(b *testing.B) {
+	keys := testKeys(3, 100000)
+	req := baseRequest(keys)
+	s := New(Config{})
+	defer s.Close()
+	a := s.getArena()
+	canon, _ := s.canonicalize(&req, a)
+	b.SetBytes(int64(len(canon)) * 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink digest128
+	for i := 0; i < b.N; i++ {
+		sink = digestRequest(&req, canon)
+	}
+	_ = sink
+	_ = sfc.Key{}
+}

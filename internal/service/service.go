@@ -1,0 +1,453 @@
+// Package service turns the partitioner into a long-lived,
+// multi-tenant facility: concurrent partitioning campaigns submit requests
+// to one Service, which canonicalizes each octree, memoizes results by
+// content hash, coalesces concurrent identical requests into a single
+// computation (singleflight), and admits cache misses to the shared
+// execution slots in least-attained-service order (alloc.FairQueue) so a
+// heavy campaign cannot starve a light one.
+//
+// The request path is built to allocate nothing in the steady state when it
+// hits the cache: request keys are copied into a per-request psort.Arena
+// drawn from a bounded freelist, sorted with TreeSortArena (the arena owns
+// every working column), linearized in place, digested inline, and looked
+// up under a value-typed 128-bit key; the cached response is returned by
+// pointer and the LRU touch is two pointer swaps on an intrusive list.
+// Digest collisions cannot corrupt results: every lookup verifies the
+// canonical octree element-wise against the cached copy (octree.SoA) before
+// trusting the entry.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"optipart/internal/alloc"
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Request describes one partitioning job. Keys may arrive in any order and
+// may contain duplicates and ancestor/descendant pairs; the service
+// canonicalizes them (sort along the curve, linearize) before hashing, so
+// two requests for the same octree are the same request no matter how the
+// caller happened to order or pad the key stream.
+type Request struct {
+	// Tenant is the fairness-accounting identity (a campaign, a client, a
+	// load class). Empty means "default". Admission charges each completed
+	// miss to its tenant; waiting tenants with the least attained service
+	// are granted slots first.
+	Tenant string
+
+	Keys []sfc.Key
+
+	CurveKind sfc.Kind
+	Dim       int // 2 or 3
+
+	Ranks int            // number of partitions p
+	Mode  partition.Mode // EqualWork, FlexibleTolerance, or ModelDriven
+	Tol   float64        // FlexibleTolerance slack, fraction of N/p
+
+	Machine      machine.Machine
+	Alpha        float64 // 0 means machine.DefaultAlpha
+	PayloadBytes int     // 0 means machine.GhostPayloadBytes
+}
+
+// Response is a computed (or cached) partition. Cached responses are shared
+// between callers and must be treated as immutable.
+type Response struct {
+	// Splitters define the partition (separator octants).
+	Splitters *partition.Splitters
+	// Counts[r] is the number of canonical octants assigned to rank r — the
+	// placement the splitters induce on the canonicalized octree.
+	Counts []int
+	// NumKeys is the canonical octree size (after dedup/linearization).
+	NumKeys int
+
+	Quality     partition.Quality
+	Predicted   float64
+	Rounds      int
+	AchievedTol float64
+}
+
+// Metrics is a snapshot of the service counters.
+type Metrics struct {
+	Requests   uint64 // total Do calls that passed validation
+	Hits       uint64 // served from cache
+	Coalesced  uint64 // waited on an in-flight identical request
+	Misses     uint64 // computed (leader of a singleflight group)
+	Collisions uint64 // digest matched but octree differed; computed uncached
+	Evictions  uint64 // entries evicted by the key-count bound
+
+	CachedEntries int // current cache population
+	CachedKeys    int // current total canonical keys held by the cache
+}
+
+// Config sizes a Service.
+type Config struct {
+	// Slots is the number of concurrent partition computations admitted
+	// (cache hits bypass admission). 0 means 2.
+	Slots int
+	// MaxCachedKeys bounds the cache by total canonical keys across
+	// entries; the least-recently-used entries are evicted past it. An
+	// octree larger than the bound is computed but not cached. 0 means
+	// 1<<22 (≈64 MiB of key columns).
+	MaxCachedKeys int
+	// MaxArenas bounds the per-request arena freelist. 0 means Slots+2.
+	MaxArenas int
+}
+
+// entry is one cache slot: the canonical octree (for exact verification),
+// the response, and the intrusive LRU links. An entry is created in the
+// pending state by the singleflight leader; followers wait on the service
+// cond until done.
+type entry struct {
+	digest digest128
+	keys   octree.SoA
+	resp   Response
+	err    error
+	done   bool
+
+	inLRU      bool
+	nkeys      int
+	prev, next *entry
+}
+
+// Service is the long-lived partitioning facility. Safe for concurrent use.
+type Service struct {
+	cfg   Config
+	queue *alloc.FairQueue
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	entries    map[digest128]*entry
+	lruHead    *entry // most recently used
+	lruTail    *entry // least recently used
+	cachedKeys int
+
+	arenas []*psort.Arena
+	curves map[curveID]*sfc.Curve
+
+	metrics Metrics
+	closed  bool
+}
+
+type curveID struct {
+	kind sfc.Kind
+	dim  int
+}
+
+// New builds a Service. Close it when done to release parked waiters.
+func New(cfg Config) *Service {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	if cfg.MaxCachedKeys <= 0 {
+		cfg.MaxCachedKeys = 1 << 22
+	}
+	if cfg.MaxArenas <= 0 {
+		cfg.MaxArenas = cfg.Slots + 2
+	}
+	s := &Service{
+		cfg:     cfg,
+		queue:   alloc.NewFairQueue(cfg.Slots),
+		entries: map[digest128]*entry{},
+		curves:  map[curveID]*sfc.Curve{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Close fails all parked waiters and future requests. In-flight
+// computations finish normally.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.queue.Close()
+	s.cond.Broadcast()
+}
+
+// Metrics returns a snapshot of the counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.metrics
+	m.CachedEntries = len(s.entries)
+	m.CachedKeys = s.cachedKeys
+	return m
+}
+
+// Do canonicalizes the request, serves it from the cache when possible
+// (hit=true, zero allocations in the steady state), and otherwise computes
+// the partition under fair admission and caches the result. The returned
+// Response is shared: callers must not mutate it.
+func (s *Service) Do(req Request) (resp *Response, hit bool, err error) {
+	if err := validate(&req); err != nil {
+		return nil, false, err
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+
+	a := s.getArena()
+	canon, curve := s.canonicalize(&req, a)
+	d := digestRequest(&req, canon)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.putArena(a)
+		return nil, false, ErrClosed
+	}
+	s.metrics.Requests++
+
+	if e, ok := s.entries[d]; ok {
+		waited := false
+		if !e.done {
+			// Singleflight follower: an identical request is in flight.
+			waited = true
+			for !e.done && !s.closed {
+				s.cond.Wait()
+			}
+			if !e.done {
+				s.mu.Unlock()
+				s.putArena(a)
+				return nil, false, ErrClosed
+			}
+		}
+		if e.err != nil {
+			err := e.err
+			s.mu.Unlock()
+			s.putArena(a)
+			return nil, false, err
+		}
+		if e.keys.EqualKeys(canon) {
+			if e.inLRU {
+				s.lruTouch(e)
+			}
+			if waited {
+				s.metrics.Coalesced++
+			} else {
+				s.metrics.Hits++
+			}
+			s.putArenaLocked(a)
+			resp := &e.resp
+			s.mu.Unlock()
+			return resp, true, nil
+		}
+		// Same digest, different octree: a genuine 128-bit collision.
+		// Compute uncached so neither request corrupts the other.
+		s.metrics.Collisions++
+		s.mu.Unlock()
+		resp, err := s.admitAndCompute(req, curve, canon)
+		s.putArena(a)
+		return resp, false, err
+	}
+
+	// Singleflight leader: publish a pending entry, compute, fill it.
+	e := &entry{digest: d}
+	s.entries[d] = e
+	s.metrics.Misses++
+	s.mu.Unlock()
+
+	r, cerr := s.admitAndCompute(req, curve, canon)
+
+	s.mu.Lock()
+	e.err = cerr
+	if cerr == nil {
+		e.resp = *r
+		e.keys.AppendKeys(canon)
+		e.nkeys = len(canon)
+	}
+	e.done = true
+	if cerr != nil || e.nkeys > s.cfg.MaxCachedKeys {
+		// Errors are not cached; an octree larger than the whole cache
+		// bound is served but not retained. Followers already holding the
+		// entry pointer still read its result.
+		delete(s.entries, d)
+	} else {
+		s.lruInsert(e)
+		s.cachedKeys += e.nkeys
+		s.evictLocked(e)
+	}
+	s.putArenaLocked(a)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	if cerr != nil {
+		return nil, false, cerr
+	}
+	return &e.resp, false, nil
+}
+
+func validate(req *Request) error {
+	if len(req.Keys) == 0 {
+		return errors.New("service: empty key set")
+	}
+	if req.Dim != 2 && req.Dim != 3 {
+		return fmt.Errorf("service: dim %d not in {2, 3}", req.Dim)
+	}
+	if req.Ranks < 1 {
+		return fmt.Errorf("service: ranks %d < 1", req.Ranks)
+	}
+	return nil
+}
+
+// canonicalize copies the request keys into the arena, sorts them along the
+// curve, and strips duplicates and ancestors — the canonical linear octree
+// that content-addresses the request. Allocation-free once the arena and
+// curve cache are warm.
+func (s *Service) canonicalize(req *Request, a *psort.Arena) ([]sfc.Key, *sfc.Curve) {
+	s.mu.Lock()
+	id := curveID{kind: req.CurveKind, dim: req.Dim}
+	curve := s.curves[id]
+	if curve == nil {
+		curve = sfc.NewCurve(req.CurveKind, req.Dim)
+		s.curves[id] = curve
+	}
+	s.mu.Unlock()
+
+	keys := a.Keys(len(req.Keys))
+	copy(keys, req.Keys)
+	psort.TreeSortArena(curve, keys, a)
+	return octree.LinearizeSorted(keys), curve
+}
+
+// admitAndCompute waits for a fair execution slot, runs the partitioning
+// world, and charges the tenant for the canonical keys processed.
+func (s *Service) admitAndCompute(req Request, curve *sfc.Curve, canon []sfc.Key) (*Response, error) {
+	if !s.queue.Acquire(req.Tenant) {
+		return nil, ErrClosed
+	}
+	defer s.queue.Release(req.Tenant, uint64(len(canon)))
+	return compute(req, curve, canon)
+}
+
+// compute runs one p-rank SPMD partitioning world over the canonical
+// octree. Each rank takes a contiguous block of the (already curve-sorted)
+// canonical keys; blocks are disjoint subslices, so the world sorts and
+// evaluates in place without copying.
+func compute(req Request, curve *sfc.Curve, canon []sfc.Key) (*Response, error) {
+	p := req.Ranks
+	var resp Response
+	_, err := comm.RunChecked(p, req.Machine.CostModel(), func(c *comm.Comm) error {
+		lo := len(canon) * c.Rank() / p
+		hi := len(canon) * (c.Rank() + 1) / p
+		res := partition.Partition(c, canon[lo:hi], partition.Options{
+			Curve:        curve,
+			Mode:         req.Mode,
+			Tol:          req.Tol,
+			Machine:      req.Machine,
+			Alpha:        req.Alpha,
+			PayloadBytes: req.PayloadBytes,
+			SkipExchange: true,
+		})
+		if c.Rank() == 0 {
+			resp = Response{
+				Splitters:   res.Splitters,
+				Quality:     res.Quality,
+				Predicted:   res.Predicted,
+				Rounds:      res.Rounds,
+				AchievedTol: res.AchievedTol,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ranges := resp.Splitters.Ranges(canon)
+	resp.Counts = make([]int, p)
+	for r := 0; r < p; r++ {
+		resp.Counts[r] = ranges[r+1] - ranges[r]
+	}
+	resp.NumKeys = len(canon)
+	return &resp, nil
+}
+
+// lruInsert places e at the head (most recently used).
+func (s *Service) lruInsert(e *entry) {
+	e.inLRU = true
+	e.prev = nil
+	e.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = e
+	}
+	s.lruHead = e
+	if s.lruTail == nil {
+		s.lruTail = e
+	}
+}
+
+// lruRemove unlinks e.
+func (s *Service) lruRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inLRU = false
+}
+
+// lruTouch moves e to the head. Zero allocations: two pointer splices.
+func (s *Service) lruTouch(e *entry) {
+	if s.lruHead == e {
+		return
+	}
+	s.lruRemove(e)
+	s.lruInsert(e)
+}
+
+// evictLocked drops least-recently-used entries until the cache fits the
+// key bound again, never evicting keep (the entry just inserted).
+func (s *Service) evictLocked(keep *entry) {
+	for s.cachedKeys > s.cfg.MaxCachedKeys && s.lruTail != nil && s.lruTail != keep {
+		victim := s.lruTail
+		s.lruRemove(victim)
+		s.cachedKeys -= victim.nkeys
+		s.metrics.Evictions++
+		delete(s.entries, victim.digest)
+	}
+}
+
+// getArena pops a warm arena from the freelist or builds a fresh one.
+func (s *Service) getArena() *psort.Arena {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.arenas); n > 0 {
+		a := s.arenas[n-1]
+		s.arenas = s.arenas[:n-1]
+		return a
+	}
+	return new(psort.Arena)
+}
+
+// putArena returns an arena to the freelist, trimming oversized columns so
+// one huge request cannot pin memory; past MaxArenas the arena is dropped.
+func (s *Service) putArena(a *psort.Arena) {
+	s.mu.Lock()
+	s.putArenaLocked(a)
+	s.mu.Unlock()
+}
+
+func (s *Service) putArenaLocked(a *psort.Arena) {
+	a.Trim()
+	if len(s.arenas) < s.cfg.MaxArenas {
+		s.arenas = append(s.arenas, a)
+	}
+}

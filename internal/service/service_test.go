@@ -1,0 +1,436 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/partition"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// testKeys draws a reproducible key stream.
+func testKeys(seed int64, n int) []sfc.Key {
+	rng := rand.New(rand.NewSource(seed))
+	return octree.RandomKeys(rng, n, 3, octree.Normal, 2, 14)
+}
+
+func baseRequest(keys []sfc.Key) Request {
+	return Request{
+		Tenant:    "t",
+		Keys:      keys,
+		CurveKind: sfc.Hilbert,
+		Dim:       3,
+		Ranks:     4,
+		Mode:      partition.EqualWork,
+		Machine:   machine.Clemson32(),
+	}
+}
+
+func TestServiceBasic(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	req := baseRequest(testKeys(1, 5000))
+
+	r1, hit, err := s.Do(req)
+	if err != nil || hit {
+		t.Fatalf("first Do: hit=%v err=%v", hit, err)
+	}
+	if r1.Splitters.P() != req.Ranks {
+		t.Fatalf("splitters P = %d, want %d", r1.Splitters.P(), req.Ranks)
+	}
+	sum := 0
+	for _, c := range r1.Counts {
+		sum += c
+	}
+	if sum != r1.NumKeys || r1.NumKeys == 0 || r1.NumKeys > len(req.Keys) {
+		t.Fatalf("counts sum %d vs NumKeys %d (input %d)", sum, r1.NumKeys, len(req.Keys))
+	}
+	// EqualWork on a linear octree: every rank gets within one refinement
+	// bucket of the ideal grain; at minimum no rank is empty here.
+	for r, c := range r1.Counts {
+		if c == 0 {
+			t.Fatalf("rank %d assigned 0 of %d keys", r, r1.NumKeys)
+		}
+	}
+
+	r2, hit, err := s.Do(req)
+	if err != nil || !hit {
+		t.Fatalf("second Do: hit=%v err=%v", hit, err)
+	}
+	if r2 != r1 {
+		t.Fatal("cache hit returned a different Response pointer")
+	}
+	m := s.Metrics()
+	if m.Misses != 1 || m.Hits != 1 || m.CachedEntries != 1 || m.CachedKeys != r1.NumKeys {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	keys := testKeys(2, 10)
+	for _, req := range []Request{
+		{Keys: nil, Dim: 3, Ranks: 2, CurveKind: sfc.Morton},
+		{Keys: keys, Dim: 4, Ranks: 2, CurveKind: sfc.Morton},
+		{Keys: keys, Dim: 3, Ranks: 0, CurveKind: sfc.Morton},
+	} {
+		if _, _, err := s.Do(req); err == nil {
+			t.Fatalf("Do(%+v) accepted invalid request", req)
+		}
+	}
+}
+
+// TestServiceCanonicalization: the same octree presented shuffled, with
+// duplicates, and with redundant ancestors is the same request — a cache
+// hit, not a second computation.
+func TestServiceCanonicalization(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	keys := testKeys(3, 3000)
+	req := baseRequest(keys)
+	if _, hit, err := s.Do(req); err != nil || hit {
+		t.Fatalf("prime: hit=%v err=%v", hit, err)
+	}
+
+	rng := rand.New(rand.NewSource(33))
+	variant := append([]sfc.Key(nil), keys...)
+	rng.Shuffle(len(variant), func(i, j int) { variant[i], variant[j] = variant[j], variant[i] })
+	for i := 0; i < 300; i++ {
+		k := keys[rng.Intn(len(keys))]
+		variant = append(variant, k) // duplicate
+		if k.Level > 1 {
+			variant = append(variant, k.Ancestor(k.Level-1)) // redundant ancestor
+		}
+	}
+	vreq := req
+	vreq.Keys = variant
+	if _, hit, err := s.Do(vreq); err != nil || !hit {
+		t.Fatalf("canonical variant: hit=%v err=%v (want hit)", hit, err)
+	}
+	if m := s.Metrics(); m.Misses != 1 {
+		t.Fatalf("variant recomputed: %+v", m)
+	}
+}
+
+// TestDigestFieldSensitivity: changing any parameter that affects the
+// result changes the digest.
+func TestDigestFieldSensitivity(t *testing.T) {
+	keys := testKeys(4, 500)
+	canon := octree.Linearize(sfc.NewCurve(sfc.Hilbert, 3), append([]sfc.Key(nil), keys...))
+	base := baseRequest(canon)
+	d0 := digestRequest(&base, canon)
+
+	mutations := map[string]func(*Request){
+		"curve":   func(r *Request) { r.CurveKind = sfc.Morton },
+		"dim":     func(r *Request) { r.Dim = 2 },
+		"ranks":   func(r *Request) { r.Ranks = 5 },
+		"mode":    func(r *Request) { r.Mode = partition.ModelDriven },
+		"tol":     func(r *Request) { r.Tol = 0.25 },
+		"alpha":   func(r *Request) { r.Alpha = 16 },
+		"payload": func(r *Request) { r.PayloadBytes = 512 },
+		"machine": func(r *Request) { r.Machine = machine.Titan() },
+	}
+	for name, mutate := range mutations {
+		r := base
+		mutate(&r)
+		if digestRequest(&r, canon) == d0 {
+			t.Fatalf("mutating %s did not change the digest", name)
+		}
+	}
+	// Tenant is accounting identity, not content: it must NOT change it.
+	r := base
+	r.Tenant = "other"
+	if digestRequest(&r, canon) != d0 {
+		t.Fatal("tenant changed the digest")
+	}
+
+	// Any single key field flips it too.
+	for _, mutate := range []func(*sfc.Key){
+		func(k *sfc.Key) { k.X ^= 1 << 10 },
+		func(k *sfc.Key) { k.Y ^= 1 << 10 },
+		func(k *sfc.Key) { k.Z ^= 1 << 10 },
+		func(k *sfc.Key) { k.Level ^= 1 },
+	} {
+		mut := append([]sfc.Key(nil), canon...)
+		mutate(&mut[len(mut)/2])
+		if digestRequest(&base, mut) == d0 {
+			t.Fatal("mutating a key did not change the digest")
+		}
+	}
+}
+
+// FuzzDigestCanonicalization: for random key streams, any permutation with
+// random duplication digests identically after canonicalization, and
+// flipping one key bit digests differently.
+func FuzzDigestCanonicalization(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(0))
+	f.Add(int64(99), uint16(2000), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, flip uint8) {
+		if n == 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		keys := octree.RandomKeys(rng, int(n), 3, octree.Uniform, 1, 12)
+		req := baseRequest(keys)
+		s := New(Config{})
+		defer s.Close()
+
+		var a psort.Arena
+		canonicalDigest := func(ks []sfc.Key) digest128 {
+			r := req
+			r.Keys = ks
+			canon, _ := s.canonicalize(&r, &a)
+			d := digestRequest(&r, canon)
+			// canon aliases the arena; consume the digest before reuse.
+			return d
+		}
+		d0 := canonicalDigest(keys)
+
+		perm := append([]sfc.Key(nil), keys...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i < int(n)/4+1; i++ {
+			perm = append(perm, keys[rng.Intn(len(keys))])
+		}
+		if canonicalDigest(perm) != d0 {
+			t.Fatal("permuted+duplicated stream digests differently")
+		}
+
+		mut := append([]sfc.Key(nil), keys...)
+		i := rng.Intn(len(mut))
+		mut[i].X ^= 1 << (flip % 30)
+		mut[i].X &= (1 << 30) - 1
+		mutD := canonicalDigest(mut)
+		// The flipped key can coincide with (or become an ancestor state
+		// of) the original canonical set; only assert difference when the
+		// canonical forms actually differ.
+		c1 := octree.Linearize(sfc.NewCurve(req.CurveKind, req.Dim), append([]sfc.Key(nil), keys...))
+		c2 := octree.Linearize(sfc.NewCurve(req.CurveKind, req.Dim), append([]sfc.Key(nil), mut...))
+		equal := len(c1) == len(c2)
+		if equal {
+			for j := range c1 {
+				if c1[j] != c2[j] {
+					equal = false
+					break
+				}
+			}
+		}
+		if equal != (mutD == d0) {
+			t.Fatalf("digest equality %v but canonical equality %v", mutD == d0, equal)
+		}
+	})
+}
+
+// TestSingleflight: N concurrent identical requests compute exactly once.
+func TestSingleflight(t *testing.T) {
+	s := New(Config{Slots: 4})
+	defer s.Close()
+	req := baseRequest(testKeys(5, 20000))
+	const n = 16
+	var wg sync.WaitGroup
+	resps := make([]*Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, _, err := s.Do(req)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			resps[i] = r
+		}(i)
+	}
+	wg.Wait()
+	m := s.Metrics()
+	if m.Misses != 1 {
+		t.Fatalf("partitioner ran %d times for %d identical requests", m.Misses, n)
+	}
+	if m.Hits+m.Coalesced != n-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", m.Hits, m.Coalesced, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if resps[i] != resps[0] {
+			t.Fatal("singleflight returned distinct responses")
+		}
+	}
+}
+
+// TestZeroAllocCacheHit: the steady-state hit path allocates nothing —
+// arena copy-in, sort, linearize, digest, lookup, verify, LRU touch,
+// return.
+func TestZeroAllocCacheHit(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	req := baseRequest(testKeys(6, 2000))
+	if _, _, err := s.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := s.Do(req); !hit {
+		t.Fatal("warmup not a hit")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, hit, err := s.Do(req)
+		if !hit || err != nil {
+			t.Fatalf("hit=%v err=%v", hit, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit path allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// TestEviction: the cache holds at most MaxCachedKeys canonical keys,
+// evicting least-recently-used entries.
+func TestEviction(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	const na = 1000
+	mk := func(seed int64) Request {
+		keys := octree.Linearize(curve, testKeys(seed, 1600))
+		if len(keys) < na {
+			t.Fatalf("seed %d linearized to %d keys, need %d", seed, len(keys), na)
+		}
+		// Equal canonical sizes make the eviction arithmetic exact: any
+		// prefix of a linear octree is still linear.
+		return baseRequest(keys[:na])
+	}
+	a, b, c := mk(10), mk(11), mk(12)
+	s := New(Config{MaxCachedKeys: 2 * na})
+	defer s.Close()
+
+	for _, r := range []Request{a, b} {
+		if _, _, err := s.Do(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics(); m.CachedEntries != 2 || m.Evictions != 0 {
+		t.Fatalf("after a,b: %+v", m)
+	}
+	// Touch a so b is the LRU victim when c arrives.
+	if _, hit, _ := s.Do(a); !hit {
+		t.Fatal("a not cached")
+	}
+	if _, _, err := s.Do(c); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Evictions == 0 || m.CachedKeys > 2*na {
+		t.Fatalf("after c: %+v", m)
+	}
+	if _, hit, _ := s.Do(a); !hit {
+		t.Fatal("a was evicted instead of b")
+	}
+	if _, hit, _ := s.Do(b); hit {
+		t.Fatal("b still cached after eviction")
+	}
+}
+
+// TestOversizedNotCached: an octree larger than the whole bound is served
+// but not retained.
+func TestOversizedNotCached(t *testing.T) {
+	s := New(Config{MaxCachedKeys: 100})
+	defer s.Close()
+	req := baseRequest(testKeys(13, 2000))
+	if _, _, err := s.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.CachedEntries != 0 || m.CachedKeys != 0 {
+		t.Fatalf("oversized octree was cached: %+v", m)
+	}
+	if _, hit, _ := s.Do(req); hit {
+		t.Fatal("oversized octree reported a hit")
+	}
+}
+
+// TestCollisionVerification: a digest match with a different octree (here
+// forced by tampering with the cached copy) must not return the cached
+// response — the element-wise verify catches it and the request is
+// recomputed.
+func TestCollisionVerification(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	req := baseRequest(testKeys(14, 1500))
+	r1, _, err := s.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	for _, e := range s.entries {
+		e.keys.X[0] ^= 1 // simulate another octree behind the same digest
+	}
+	s.mu.Unlock()
+
+	r2, hit, err := s.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("verification failure still reported a hit")
+	}
+	if m := s.Metrics(); m.Collisions != 1 {
+		t.Fatalf("collisions = %d, want 1", m.Collisions)
+	}
+	// The recomputed answer matches the original computation.
+	if r2.NumKeys != r1.NumKeys || len(r2.Counts) != len(r1.Counts) {
+		t.Fatal("collision recompute diverged")
+	}
+	for i := range r1.Counts {
+		if r1.Counts[i] != r2.Counts[i] {
+			t.Fatal("collision recompute placement diverged")
+		}
+	}
+}
+
+func TestServiceClosed(t *testing.T) {
+	s := New(Config{})
+	req := baseRequest(testKeys(15, 100))
+	s.Close()
+	if _, _, err := s.Do(req); err != ErrClosed {
+		t.Fatalf("Do after Close: %v", err)
+	}
+}
+
+// TestServiceConcurrentMixed drives distinct octrees from multiple tenants
+// concurrently; every response must be internally consistent and every
+// repeat identical. Run under -race in CI.
+func TestServiceConcurrentMixed(t *testing.T) {
+	s := New(Config{Slots: 2})
+	defer s.Close()
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = baseRequest(testKeys(int64(20+i), 4000+500*i))
+		reqs[i].Tenant = string(rune('a' + i%2))
+	}
+	want := make([]*Response, len(reqs))
+	for i, r := range reqs {
+		resp, _, err := s.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resp
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				i := (g + it) % len(reqs)
+				resp, _, err := s.Do(reqs[i])
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if resp.NumKeys != want[i].NumKeys {
+					t.Errorf("request %d: NumKeys %d, want %d", i, resp.NumKeys, want[i].NumKeys)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -29,8 +29,10 @@
 package optipart
 
 import (
+	"io"
 	"math/rand"
 
+	"optipart/internal/alloc"
 	"optipart/internal/ckpt"
 	"optipart/internal/comm"
 	"optipart/internal/fault"
@@ -43,6 +45,7 @@ import (
 	"optipart/internal/partition"
 	"optipart/internal/power"
 	"optipart/internal/psort"
+	"optipart/internal/service"
 	"optipart/internal/sfc"
 )
 
@@ -347,6 +350,46 @@ func TreeSort(curve *Curve, keys []Key) { psort.TreeSort(curve, keys) }
 func SampleSort(c *Comm, local []Key, curve *Curve) []Key {
 	return psort.SampleSort(c, local, psort.SampleSortOptions{Curve: curve})
 }
+
+// Partitioning-as-a-service. A PartitionService is a long-lived facility
+// serving concurrent partitioning campaigns: requests are canonicalized
+// (sorted, linearized) into content-addressed octrees, memoized under a
+// 128-bit digest with exact-match verification, coalesced when identical
+// requests race (singleflight), and admitted to a bounded set of execution
+// slots in least-attained-service order per tenant so heavy campaigns
+// cannot starve light ones. The steady-state cache-hit path allocates
+// nothing. Serve it over sockets with `optipartd -serve` and drive load
+// with `loadgen`.
+type (
+	PartitionService    = service.Service
+	ServiceConfig       = service.Config
+	ServiceRequest      = service.Request
+	ServiceResponse     = service.Response
+	ServiceMetrics      = service.Metrics
+	ServiceWireRequest  = service.WireRequest
+	ServiceWireResponse = service.WireResponse
+)
+
+// ErrServiceClosed is returned by PartitionService.Do after Close.
+var ErrServiceClosed = service.ErrClosed
+
+// NewService builds a partitioning service. Close it when done.
+func NewService(cfg ServiceConfig) *PartitionService { return service.New(cfg) }
+
+// ServeServiceConn runs the gob request/response loop for one client
+// connection until EOF. Synchronous: callers own the connection goroutine.
+func ServeServiceConn(s *PartitionService, conn io.ReadWriter) error {
+	return service.ServeConn(s, conn)
+}
+
+// FairQueue is the service's admission scheduler, exported for schedulers
+// built outside the service: a bounded pool of execution slots granted to
+// competing tenants in least-attained-service order, FIFO within a tenant,
+// with deterministic tie-breaks.
+type FairQueue = alloc.FairQueue
+
+// NewFairQueue builds a fair admission queue with the given slot count.
+func NewFairQueue(slots int) *FairQueue { return alloc.NewFairQueue(slots) }
 
 // Ghost is a rank's halo layer; CommMatrix is the communication matrix M of
 // §5.5.

@@ -15,8 +15,13 @@
 # (degrade) or to a respawned worker's completed rejoin (restore), into
 # BENCH_7.json.
 #
-#   ./scripts/bench.sh                             # writes BENCH_3/5/6/7.json
-#   ./scripts/bench.sh a.json b.json c.json d.json # write elsewhere
+# A fifth pass captures the partitioning service (PR 8): the cache-hit /
+# cache-miss / digest microbenches (internal/service) plus a loadgen sweep
+# over hit-heavy and miss-heavy mixes at concurrency 1, 4, and GOMAXPROCS,
+# recording req/s, p50/p99 latency, and hit rate into BENCH_8.json.
+#
+#   ./scripts/bench.sh                             # writes BENCH_3/5/6/7/8.json
+#   ./scripts/bench.sh a.json b.json c.json d.json e.json # write elsewhere
 #
 # To re-record the worker baseline on a new host, pin the widths first:
 #   OPTIPART_BENCH_WORKERS=1,4 go test -run '^$' \
@@ -28,6 +33,7 @@ out=${1:-BENCH_3.json}
 out5=${2:-BENCH_5.json}
 out6=${3:-BENCH_6.json}
 out7=${4:-BENCH_7.json}
+out8=${5:-BENCH_8.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -49,7 +55,7 @@ go test -run '^$' -bench 'TreeSortLarge|PartitionE2E' -benchmem . | tee "$tmp/wo
 
 echo "==> formatting $out5"
 go run ./cmd/benchfmt -baseline scripts/bench_baseline_5.txt -out "$out5" \
-    -note "worker-pool record: each entry runs the whole kernel at the width in its name (SetWorkers); workers=1 is byte-for-byte the serial code path of the pre-pool implementation, so its speedup-vs-baseline is the no-regression gate. Baseline captured on a GOMAXPROCS=1 host, where all widths are wall-clock-equivalent by design (the pool never oversubscribes); on a >=4-core host expect TreeSortLarge/workers=4 at >=1.8x over workers=1. Results and modeled costs are identical at every width." \
+    -note "worker-pool record, re-captured at PR 8 after the psort arena migration (SoA columns replacing the sync.Pool scratch): each entry runs the whole kernel at the width in its name (SetWorkers); workers=1 is byte-for-byte the serial code path of the pre-pool implementation, so its speedup-vs-baseline is the no-regression gate. Both the baseline and this re-capture ran on a GOMAXPROCS=1 host, where all widths are wall-clock-equivalent by design (the pool never oversubscribes) — the parallel speedups remain unproven here; on a >=4-core host expect TreeSortLarge/workers=4 at >=1.8x over workers=1. Results and modeled costs are identical at every width." \
     "$tmp/workers.txt"
 go run ./cmd/benchfmt -check "$out5"
 
@@ -70,3 +76,15 @@ go run ./cmd/benchfmt -out "$out7" \
     -note "PR 7 record: per-policy recovery latency over the real unix-socket transport (two ranks, worker hard-killed mid-campaign), alongside the wire round-trip numbers for scale. RecoveryDegrade's detect-ns/op is death -> root's structured RankFailure (lower-bounded by the 50ms heartbeat timeout the bench configures); RecoveryRestore's mttr-ns/op is the root-observed downtime from declared death to the respawned worker's completed rejoin (replay from the result log, no heartbeat wait on the rejoin path, hence the ~three-orders gap). No recovery baseline: these paths are new in this PR." \
     "$tmp/recovery.txt" "$tmp/wire.txt"
 go run ./cmd/benchfmt -check "$out7"
+
+echo "==> partitioning-service microbenchmarks (cache hit / miss / digest)"
+go test -run '^$' -bench 'CacheHit|CacheMiss|Digest' -benchmem ./internal/service | tee "$tmp/service.txt"
+
+echo "==> service load sweep (hit/miss mixes at conc 1,4,GOMAXPROCS)"
+go run ./cmd/loadgen -duration 2s -conc 1,4,0 -n 5000 -octrees 8 | tee "$tmp/loadgen.txt"
+
+echo "==> formatting $out8"
+go run ./cmd/benchfmt -out "$out8" \
+    -note "PR 8 record: the partitioning service. CacheHit is the steady-state memoized path (canonicalize + digest + verify + LRU touch) and must stay at 0 allocs/op; CacheMiss forces recompute on every request (cache capacity 1); Digest is the raw two-lane content hash. The ServiceLoad entries come from cmd/loadgen: closed-loop sweep, req/s with p50/p99 latency and measured hit rate, hit mix over a primed 8-octree pool (expect hit-rate 1.0) and miss mix with a unique deep octant per request (expect 0.0). Host caveat: GOMAXPROCS=1, so conc>1 cells measure fair-admission queueing on one core, not parallel scaling, and the 1/4/GOMAXPROCS sweep collapses to 1/4. No baseline: the service is new in this PR." \
+    "$tmp/service.txt" "$tmp/loadgen.txt"
+go run ./cmd/benchfmt -check "$out8"

@@ -41,15 +41,22 @@ go test -race -shuffle=on "$@" ./...
 echo "==> par/comm/psort dedicated race pass"
 go test -race -shuffle=on -count=1 ./internal/par ./internal/comm ./internal/psort
 
+echo "==> service/alloc dedicated race pass"
+# The service layer is the one place concurrent client goroutines share
+# mutable state on purpose (cache map, LRU, arena freelist, fair queue), so
+# it gets its own -race pass on top of the suite-wide one.
+go test -race -shuffle=on -count=1 ./internal/service ./internal/alloc
+
 echo "==> hot-path benchmark smoke"
 go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
 go test -run '^$' -bench 'Transport' -benchtime 1x ./internal/comm
 
-echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json / BENCH_7.json parse"
+echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json / BENCH_7.json / BENCH_8.json parse"
 go run ./cmd/benchfmt -check BENCH_3.json
 go run ./cmd/benchfmt -check BENCH_5.json
 go run ./cmd/benchfmt -check BENCH_6.json
 go run ./cmd/benchfmt -check BENCH_7.json
+go run ./cmd/benchfmt -check BENCH_8.json
 
 echo "==> optipartd multi-process smoke (4 ranks, kill one, recover)"
 # Hermetic: workers rendezvous over unix sockets in a private temp dir, no
@@ -88,6 +95,36 @@ grep -q "supervisor: respawned rank" "$restorelog"
 grep -q "restoring from epoch" "$restorelog"
 grep -q "digest matches fault-free golden" "$restorelog"
 rm -rf "$smokedir"
+
+echo "==> partitioning-service load smoke (in-process, then -serve over a unix socket)"
+# In-process first: short hit+miss sweep, the hit mix must actually hit.
+svcdir=$(mktemp -d)
+go build -o "$svcdir/loadgen" ./cmd/loadgen
+go build -o "$svcdir/optipartd" ./cmd/optipartd
+"$svcdir/loadgen" -duration 300ms -conc 1,2 -n 2000 -octrees 4 >"$svcdir/inproc.txt"
+grep -q 'mix=hit/conc=1.*1\.000 hit-rate' "$svcdir/inproc.txt"
+grep -q 'mix=miss/conc=1.*0\.000 hit-rate' "$svcdir/inproc.txt"
+# Then the wire path: a live `optipartd -serve` on a private unix socket,
+# driven by `loadgen -connect`, drained with SIGTERM.
+"$svcdir/optipartd" -serve "unix:$svcdir/svc.sock" -slots 2 >"$svcdir/serve.log" 2>&1 &
+servepid=$!
+for i in $(seq 1 50); do
+    [ -S "$svcdir/svc.sock" ] && break
+    sleep 0.1
+done
+if ! "$svcdir/loadgen" -connect "unix:$svcdir/svc.sock" -duration 300ms \
+        -conc 1,2 -n 2000 -octrees 4 >"$svcdir/wire.txt"; then
+    echo "loadgen -connect smoke failed:" >&2
+    cat "$svcdir/serve.log" >&2
+    kill "$servepid" 2>/dev/null || true
+    rm -rf "$svcdir"
+    exit 1
+fi
+grep -q 'mix=hit/conc=2.*1\.000 hit-rate' "$svcdir/wire.txt"
+kill -TERM "$servepid"
+wait "$servepid"
+grep -q 'served .* requests' "$svcdir/serve.log"
+rm -rf "$svcdir"
 
 echo "==> chaos harness smoke (5 fixed seeds, quick sizes, short deadline)"
 # Each seed draws a distinct kill/drain/loss/straggler schedule; every one
