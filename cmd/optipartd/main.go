@@ -108,6 +108,15 @@ func main() {
 	if *p < 1 {
 		fatal(fmt.Errorf("-p %d: need at least one rank", *p))
 	}
+	if *slots < 1 {
+		fatal(fmt.Errorf("-slots %d: the service needs at least one computation slot", *slots))
+	}
+	if *cacheKeys < 0 {
+		fatal(fmt.Errorf("-cache-keys %d: the cache bound cannot be negative (0 means the default)", *cacheKeys))
+	}
+	if *steps < 0 {
+		fatal(fmt.Errorf("-steps %d: refinement steps cannot be negative (0 means the classic single-partition body)", *steps))
+	}
 	policy, err := optipart.ParseFailurePolicy(*onFailure)
 	if err != nil {
 		fatal(err)

@@ -8,6 +8,23 @@ import (
 // errUnbalancedRelease reports a Release not paired with an Acquire.
 var errUnbalancedRelease = errors.New("alloc: FairQueue.Release without matching Acquire")
 
+// MaxTenants bounds the queue's tenant table. Tenant names are
+// client-chosen strings, so without a bound a client cycling through fresh
+// names grows the accounting maps by one entry per name forever — the
+// unboundedgrowth bug class. When the table is full, idle tenants (no
+// waiters, no held slots) are evicted in ascending-attained order, and the
+// eviction floor rises to the evicted tenant's attained service so a tenant
+// cannot leave, rejoin under the same or a fresh name, and restart at zero
+// priority debt.
+const MaxTenants = 1024
+
+// tenantState is the per-tenant accounting record.
+type tenantState struct {
+	attained uint64 // total service units consumed
+	waiting  int    // waiters parked in Acquire
+	holding  int    // slots currently granted
+}
+
 // FairQueue is the admission scheduler for the partitioning service: a
 // bounded pool of execution slots shared by competing tenants, granted in
 // least-attained-service order. Each tenant (a campaign, a client, a load
@@ -21,7 +38,10 @@ var errUnbalancedRelease = errors.New("alloc: FairQueue.Release without matching
 //
 // The queue is built on a mutex and a condition variable only — no
 // channels, no goroutines of its own — so it composes with the repo's
-// determinism rules and can be exercised single-threaded in tests.
+// determinism rules and can be exercised single-threaded in tests. The
+// tenant table is bounded (MaxTenants): idle tenants are evicted
+// least-attained-first and new or rejoining tenants start at the eviction
+// floor, so forgetting a tenant never lowers anyone's priority debt.
 type FairQueue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -29,9 +49,9 @@ type FairQueue struct {
 	slots int // total execution slots
 	used  int // slots currently granted
 
-	attained map[string]uint64 // tenant -> total service units consumed
-	waiting  map[string]int    // tenant -> waiters parked in Acquire
-	arrivals uint64            // global arrival counter for FIFO tickets
+	tenants  map[string]*tenantState
+	floor    uint64 // attained service assigned to new/rejoining tenants
+	arrivals uint64 // global arrival counter for FIFO tickets
 
 	// head ticket per tenant: a waiter may only win a slot if it holds the
 	// oldest outstanding ticket of its tenant (FIFO within tenant).
@@ -47,13 +67,51 @@ func NewFairQueue(slots int) *FairQueue {
 		slots = 1
 	}
 	q := &FairQueue{
-		slots:    slots,
-		attained: map[string]uint64{},
-		waiting:  map[string]int{},
-		tickets:  map[string][]uint64{},
+		slots:   slots,
+		tenants: map[string]*tenantState{},
+		tickets: map[string][]uint64{},
 	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// tenantLocked returns tenant's accounting record, creating it at the
+// eviction floor (and evicting an idle tenant if the table is full).
+func (q *FairQueue) tenantLocked(tenant string) *tenantState {
+	st := q.tenants[tenant]
+	if st == nil {
+		if len(q.tenants) >= MaxTenants {
+			q.evictLocked()
+		}
+		st = &tenantState{attained: q.floor}
+		q.tenants[tenant] = st
+	}
+	return st
+}
+
+// evictLocked removes the idle tenant with the least attained service
+// (ties broken lexicographically, for determinism) and raises the floor to
+// its attained value. If every tenant is active the table grows past
+// MaxTenants — active tenants are bounded by live callers, not by names.
+func (q *FairQueue) evictLocked() {
+	victim := ""
+	var victimSt *tenantState
+	for name, st := range q.tenants {
+		if st.waiting > 0 || st.holding > 0 {
+			continue
+		}
+		if victimSt == nil || st.attained < victimSt.attained ||
+			(st.attained == victimSt.attained && name < victim) {
+			victim, victimSt = name, st
+		}
+	}
+	if victimSt == nil {
+		return
+	}
+	if victimSt.attained > q.floor {
+		q.floor = victimSt.attained
+	}
+	delete(q.tenants, victim)
 }
 
 // Acquire blocks until the caller holds an execution slot, then returns
@@ -68,17 +126,19 @@ func (q *FairQueue) Acquire(tenant string) bool {
 	ticket := q.arrivals
 	q.arrivals++
 	q.tickets[tenant] = append(q.tickets[tenant], ticket)
-	q.waiting[tenant]++
+	st := q.tenantLocked(tenant)
+	st.waiting++
 	for !q.closed && !q.eligibleLocked(tenant, ticket) {
 		q.cond.Wait()
 	}
-	q.waiting[tenant]--
+	st.waiting--
 	q.dropTicketLocked(tenant, ticket)
 	if q.closed {
 		q.cond.Broadcast()
 		return false
 	}
 	q.used++
+	st.holding++
 	return true
 }
 
@@ -93,13 +153,12 @@ func (q *FairQueue) eligibleLocked(tenant string, ticket uint64) bool {
 	if len(ts) == 0 || ts[0] != ticket {
 		return false // FIFO within tenant: only the head ticket competes.
 	}
-	mine := q.attained[tenant]
-	for other, n := range q.waiting {
-		if n == 0 || other == tenant {
+	mine := q.tenants[tenant].attained
+	for other, st := range q.tenants {
+		if st.waiting == 0 || other == tenant {
 			continue
 		}
-		oa := q.attained[other]
-		if oa < mine || (oa == mine && other < tenant) {
+		if st.attained < mine || (st.attained == mine && other < tenant) {
 			return false
 		}
 	}
@@ -137,16 +196,32 @@ func (q *FairQueue) Release(tenant string, cost uint64) {
 		q.mu.Unlock()
 		panic(errUnbalancedRelease)
 	}
-	q.attained[tenant] += cost
+	st := q.tenantLocked(tenant)
+	if st.holding > 0 {
+		st.holding--
+	}
+	st.attained += cost
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
 
-// Attained returns the service units charged to tenant so far.
+// Attained returns the service units charged to tenant so far. A tenant
+// the queue has never seen (or has evicted) reports the eviction floor —
+// the value it would be (re)admitted at.
 func (q *FairQueue) Attained(tenant string) uint64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.attained[tenant]
+	if st := q.tenants[tenant]; st != nil {
+		return st.attained
+	}
+	return q.floor
+}
+
+// Tenants returns the number of tenants currently tracked.
+func (q *FairQueue) Tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tenants)
 }
 
 // InUse returns the number of currently granted slots.
@@ -161,8 +236,8 @@ func (q *FairQueue) Waiting() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := 0
-	for _, w := range q.waiting {
-		n += w
+	for _, st := range q.tenants {
+		n += st.waiting
 	}
 	return n
 }

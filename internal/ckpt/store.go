@@ -117,10 +117,17 @@ func (s *Store) Latest() (*Snapshot, error) {
 	return nil, nil
 }
 
+// MemRetain is how many recent epochs MemStore keeps. Restores only ever
+// read the latest usable snapshot, so retaining a short tail is enough for
+// the chaos harness; without the bound a long campaign accumulates one
+// encoded snapshot per epoch forever.
+const MemRetain = 8
+
 // MemStore is an in-memory Saver/Loader for tests and the in-process chaos
 // harness. It stores encoded bytes (so the codec is on the hot path exactly
 // as with the file store) and tracks how many snapshot bytes restores have
-// read back, feeding the chaos experiment's restored-bytes metric.
+// read back, feeding the chaos experiment's restored-bytes metric. Only the
+// MemRetain most recent epochs are kept.
 type MemStore struct {
 	mu       sync.Mutex
 	snaps    map[int][]byte
@@ -140,6 +147,11 @@ func (m *MemStore) Save(snap *Snapshot) error {
 	}
 	m.mu.Lock()
 	m.snaps[snap.Epoch] = buf
+	for epoch := range m.snaps {
+		if epoch <= snap.Epoch-MemRetain {
+			delete(m.snaps, epoch)
+		}
+	}
 	m.mu.Unlock()
 	return nil
 }

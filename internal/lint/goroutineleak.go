@@ -1,0 +1,159 @@
+package lint
+
+// goroutineleak requires every library goroutine to have a reachable
+// stop/join path. The sanctioned spawners (internal/comm's rank runners,
+// internal/par's pool workers, internal/net's readers and heartbeat loops)
+// all follow the same shape: a service loop that observes a stop signal —
+// a `stopped` flag under the pool mutex, a `<-stop` select arm, a read
+// error on a closed connection — and returns. A goroutine whose loop has
+// no exit at all outlives every Close/Stop/shutdown the package offers:
+// under service traffic that is a leak per request, and under test it is a
+// leaked worker the race detector happily schedules forever.
+//
+// The check is intraprocedural, one call deep: for each `go` statement the
+// spawned body (a function literal, or a function/method declared in the
+// same package) is scanned for unconditional `for {}` loops with no
+// reachable exit — no return, no break of that loop, no goto, no panic,
+// and no os.Exit/runtime.Goexit. Loops with a condition, range loops
+// (which end when their channel closes or their operand is exhausted), and
+// loops with any exit path stay silent. Deeper call chains are out of
+// scope; if the loop lives two calls down, restructure or document with a
+// //lint:ignore.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "library goroutines need a reachable stop/join path: an exitless service loop outlives every shutdown",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	if !isLibraryPkg(p.Path) || isLintPkg(p.Path) {
+		return
+	}
+	decls := packageFuncDecls(p)
+	byObj := map[types.Object]*ast.FuncDecl{}
+	for fn, fd := range decls {
+		byObj[fn] = fd
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			name := "goroutine"
+			if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				body = fl.Body
+			} else if fn := calleeFunc(p.Info, gs.Call); fn != nil && fn.Pkg() == p.Pkg {
+				if fd := byObj[fn]; fd != nil {
+					body = fd.Body
+					name = fn.Name()
+				}
+			}
+			if body == nil {
+				return true
+			}
+			if pos, bad := exitlessLoop(body); bad {
+				line := p.Fset.Position(pos).Line
+				p.Report(gs.Pos(), "%s runs an unconditional loop (line %d) with no reachable exit — no return, break, or stop-signal path — so it outlives every shutdown: give it a stop flag, a <-stop select arm, or a closing channel to range over", name, line)
+			}
+			return true
+		})
+	}
+}
+
+// exitlessLoop scans body (not descending into nested function literals)
+// for a `for {}` loop with no reachable exit, returning its position.
+func exitlessLoop(body *ast.BlockStmt) (token.Pos, bool) {
+	var bad token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopCanExit(x.Body) {
+				bad, found = x.For, true
+				return false
+			}
+		}
+		return true
+	})
+	return bad, found
+}
+
+// loopCanExit reports whether an unconditional loop's body contains any
+// statement that can leave the loop: a return, an unlabeled break at the
+// loop's own level, a labeled break or goto, a panic, or a terminal
+// runtime call. Nesting is tracked so a `break` inside an inner loop,
+// switch, or select is not credited to the outer loop.
+func loopCanExit(body *ast.BlockStmt) bool {
+	var walk func(n ast.Node, breakable bool) bool
+	walk = func(n ast.Node, breakable bool) bool {
+		can := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if can || m == nil || m == n {
+				return !can
+			}
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				can = true
+			case *ast.BranchStmt:
+				switch x.Tok {
+				case token.BREAK:
+					if breakable || x.Label != nil {
+						can = true
+					}
+				case token.GOTO:
+					can = true // conservative: a goto can jump out
+				}
+			case *ast.ForStmt, *ast.RangeStmt:
+				if walk(x, false) {
+					can = true
+				}
+				return false
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				// break inside these exits the statement, not the loop; but
+				// returns, gotos, and labeled breaks inside still count.
+				if walk(x, false) {
+					can = true
+				}
+				return false
+			case *ast.CallExpr:
+				if isTerminalCall(x) {
+					can = true
+				}
+			}
+			return !can
+		})
+		return can
+	}
+	return walk(body, true)
+}
+
+// isTerminalCall matches panic(...), os.Exit, and runtime.Goexit — calls
+// that end the goroutine (or the process) and therefore count as an exit.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fun.Sel.Name == "Exit") ||
+				(pkg.Name == "runtime" && fun.Sel.Name == "Goexit")
+		}
+	}
+	return false
+}

@@ -67,7 +67,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CollectiveDiverge, Nondeterminism, CostAccounting, APIHygiene}
+	return []*Analyzer{CollectiveDiverge, Nondeterminism, CostAccounting, APIHygiene, LockOrder, CondWait, GoroutineLeak, UnboundedGrowth}
 }
 
 // RuleNames returns the valid rule ids, for directive validation.

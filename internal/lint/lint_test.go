@@ -280,11 +280,60 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
+func TestLockOrderFixtures(t *testing.T) {
+	res := checkFixture(t, "lockbad")
+	if n := ruleCount(res, "lockorder"); n != 6 {
+		t.Errorf("lockbad: %d lockorder findings, want 6 (both edges of three cycles)", n)
+	}
+	var viaCall int
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, "via call to flush") {
+			viaCall++
+		}
+	}
+	if viaCall != 1 {
+		t.Errorf("lockbad: %d via-call findings, want exactly the register->flush edge", viaCall)
+	}
+	checkSilent(t, "lockok")
+}
+
+func TestCondWaitFixtures(t *testing.T) {
+	res := checkFixture(t, "condbad")
+	if n := ruleCount(res, "condwait"); n != 4 {
+		t.Errorf("condbad: %d condwait findings, want 4", n)
+	}
+	checkSilent(t, "condok")
+}
+
+// TestGoroutineLeakFixtures runs under a net-suffixed synthetic path so the
+// nondeterminism goroutine rule stays out of the way and the leak rule's
+// verdicts stand alone.
+func TestGoroutineLeakFixtures(t *testing.T) {
+	res := checkFixture(t, "leakbad/internal/net")
+	if n := ruleCount(res, "goroutineleak"); n != 3 {
+		t.Errorf("leakbad: %d goroutineleak findings, want 3", n)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Rule != "goroutineleak" {
+			t.Errorf("leakbad: unexpected %s finding: %s", d.Rule, d)
+		}
+	}
+	checkSilent(t, "leakok/internal/net")
+}
+
+func TestUnboundedGrowthFixtures(t *testing.T) {
+	res := checkFixture(t, "growthbad")
+	if n := ruleCount(res, "unboundedgrowth"); n != 4 {
+		t.Errorf("growthbad: %d unboundedgrowth findings, want 4", n)
+	}
+	checkSilent(t, "growthok")
+}
+
 // TestFixturePositions pins the exact file:line:col:rule tuple of every
 // diagnostic across all fixtures against testdata/positions.golden. Run with
 // UPDATE_LINT_GOLDEN=1 to regenerate after editing fixtures.
 func TestFixturePositions(t *testing.T) {
-	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "netbad", "suppress", "drainloop"}
+	fixtures := []string{"divergebad", "nondetbad", "costbad", "hygienebad", "parbad", "netbad", "suppress", "drainloop", "lockbad", "condbad", "leakbad/internal/net", "growthbad"}
 	l := fixtureLoader(t)
 	srcRoot := filepath.Join(l.ModRoot, "internal", "lint", "testdata", "src")
 	var lines []string

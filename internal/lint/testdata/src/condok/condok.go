@@ -1,0 +1,69 @@
+// Package condok holds the canonical monitor shapes the condwait rule must
+// accept: predicate-loop Waits under cond.L, both as a loop condition and
+// as an in-body re-check, including inside a closure that does its own
+// locking and a range-driven drain.
+package condok
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	jobs  []func()
+	stop  bool
+}
+
+// waitReady is the textbook form: for !predicate { Wait }.
+func (b *box) waitReady() {
+	b.mu.Lock()
+	for !b.ready {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// worker re-checks its predicates inside an unconditional loop — the
+// internal/par pool shape.
+func (b *box) worker() {
+	b.mu.Lock()
+	for {
+		if b.stop {
+			b.mu.Unlock()
+			return
+		}
+		if n := len(b.jobs); n > 0 {
+			job := b.jobs[n-1]
+			b.jobs = b.jobs[:n-1]
+			b.mu.Unlock()
+			job()
+			b.mu.Lock()
+			continue
+		}
+		b.cond.Wait()
+	}
+}
+
+// closureWorker locks inside the literal, so the literal is a complete
+// monitor scope of its own.
+func (b *box) closureWorker() func() {
+	return func() {
+		b.mu.Lock()
+		for !b.ready {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
+	}
+}
+
+// drain parks in a range loop: each element is a predicate re-check site.
+func (b *box) drain(signals []int) {
+	b.mu.Lock()
+	for range signals {
+		for !b.ready {
+			b.cond.Wait()
+		}
+		b.ready = false
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package growthbad accumulates into long-lived state with no trim, cap,
+// eviction, or bound anywhere in the package: a request log that appends
+// per call, per-key maps that gain an entry per tenant, and package-level
+// history. Each growth site must be flagged.
+package growthbad
+
+type server struct {
+	log   []string
+	index map[string]int
+	hits  map[string]uint64
+}
+
+// handle grows the request log on every call for the server's lifetime.
+func (s *server) handle(req string) {
+	s.log = append(s.log, req) // want "append into log grows without bound"
+}
+
+// track gains one index entry per distinct key, forever.
+func (s *server) track(key string, n int) {
+	s.index[key] = n // want "map store into index grows without bound"
+}
+
+// count is the compound form of the same leak.
+func (s *server) count(key string) {
+	s.hits[key]++ // want "map store into hits grows without bound"
+}
+
+var history []string
+
+// record grows package state per event with no reset anywhere.
+func record(event string) {
+	history = append(history, event) // want "append into history grows without bound"
+}

@@ -1,0 +1,83 @@
+// Package growthok shows every bounding discipline the unboundedgrowth
+// rule credits: len-guarded appends, delete and clear on maps, reslice
+// resets, the removal-append idiom, the map-entry window-prune reslice —
+// plus the shapes that are not long-lived state at all (locals, value
+// receivers).
+package growthok
+
+const maxLog = 128
+
+type server struct {
+	log     []string
+	index   map[string]int
+	hits    map[string]uint64
+	scratch []byte
+	recent  map[string][]int64
+}
+
+// handle appends under an explicit bound: the len guard is the cap.
+func (s *server) handle(req string) {
+	if len(s.log) < maxLog {
+		s.log = append(s.log, req)
+	}
+}
+
+// track's entries are evicted by untrack: delete is bounding discipline.
+func (s *server) track(key string, n int) {
+	s.index[key] = n
+}
+
+func (s *server) untrack(key string) {
+	delete(s.index, key)
+}
+
+// count's map is wiped wholesale by reset.
+func (s *server) count(key string) {
+	s.hits[key]++
+}
+
+func (s *server) reset() {
+	clear(s.hits)
+	s.scratch = s.scratch[:0]
+}
+
+// append into a reslice-reset buffer reuses capacity instead of growing.
+func (s *server) buffer(b []byte) {
+	s.scratch = append(s.scratch, b...)
+}
+
+// prune rebuilds each entry from a truncated base — the window-prune
+// idiom from fault.RespawnBudget.
+func (s *server) prune(key string, now int64) {
+	live := s.recent[key][:0]
+	for _, at := range s.recent[key] {
+		if now-at < 60 {
+			live = append(live, at)
+		}
+	}
+	s.recent[key] = append(live, now)
+}
+
+// drop uses the removal append: the base is a reslice of the field.
+func (s *server) drop(i int) {
+	s.log = append(s.log[:i], s.log[i+1:]...)
+}
+
+// locals die with the call, whatever they accumulate.
+func tally(events []string) map[string]int {
+	out := map[string]int{}
+	for _, e := range events {
+		out[e]++
+	}
+	return out
+}
+
+// value receivers are copies: growth does not outlive the call.
+type view struct {
+	rows []string
+}
+
+func (v view) with(row string) view {
+	v.rows = append(v.rows, row)
+	return v
+}

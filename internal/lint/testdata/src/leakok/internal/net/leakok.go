@@ -1,0 +1,93 @@
+// Package net is the goroutineleak negative fixture: every goroutine shape
+// here has a reachable stop/join path — a <-stop select arm, a stop flag,
+// a range over a closing channel, a labeled break, or a terminal call —
+// and the rule must stay silent on all of them.
+package net
+
+import (
+	"os"
+	"sync"
+)
+
+type link struct {
+	frames chan []byte
+	stop   chan struct{}
+	mu     sync.Mutex
+	done   bool
+}
+
+// reader exits through the stop arm when Close fires.
+func dial() *link {
+	l := &link{frames: make(chan []byte, 8), stop: make(chan struct{})}
+	go l.reader()
+	return l
+}
+
+func (l *link) reader() {
+	for {
+		select {
+		case f := <-l.frames:
+			_ = f
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// drain ends when the channel closes: range loops are exits by
+// construction.
+func drain(ch chan []byte) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// flagged re-checks a stop flag under the lock.
+func (l *link) flagged() {
+	go func() {
+		for {
+			l.mu.Lock()
+			if l.done {
+				l.mu.Unlock()
+				return
+			}
+			l.mu.Unlock()
+		}
+	}()
+}
+
+// conditional loops are bounded by their condition.
+func countdown(n int) {
+	go func() {
+		for n > 0 {
+			n--
+		}
+	}()
+}
+
+// labeled escapes the outer loop from inside the inner one.
+func labeled(work chan int) {
+	go func() {
+	outer:
+		for {
+			for w := range work {
+				if w < 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}
+
+// fatal ends the process — drastic, but not a leak.
+func fatal(errs chan error) {
+	go func() {
+		for {
+			if err := <-errs; err != nil {
+				os.Exit(1)
+			}
+			return
+		}
+	}()
+}

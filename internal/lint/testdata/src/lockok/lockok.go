@@ -1,0 +1,88 @@
+// Package lockok nests the same mutexes as lockbad but in one consistent
+// order everywhere — mu before idxMu, mu before regMu — including through
+// call edges and deferred unlocks. One acquisition order means no cycle,
+// so the lockorder rule must stay silent. Same-identity nesting through
+// distinct instances (the pair type below) is hierarchical locking, not a
+// cycle, and must stay silent too.
+package lockok
+
+import "sync"
+
+var regMu sync.Mutex
+
+var registry = map[string]int{}
+
+type store struct {
+	mu    sync.Mutex
+	idxMu sync.Mutex
+	data  map[string]int
+}
+
+// Lock order: mu, then idxMu, then regMu. Every path below follows it.
+
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	s.data[k] = v
+}
+
+func (s *store) scan() int {
+	s.mu.Lock()
+	s.idxMu.Lock()
+	n := len(s.data)
+	s.idxMu.Unlock()
+	s.mu.Unlock()
+	return n
+}
+
+// register reaches regMu through a call edge while holding mu — the same
+// direction as the direct nesting in audit, so still acyclic.
+func (s *store) register(name string) {
+	s.mu.Lock()
+	s.bump(name)
+	s.mu.Unlock()
+}
+
+func (s *store) bump(name string) {
+	regMu.Lock()
+	registry[name]++
+	regMu.Unlock()
+}
+
+func (s *store) audit(name string) {
+	s.mu.Lock()
+	regMu.Lock()
+	delete(registry, name)
+	delete(s.data, name)
+	regMu.Unlock()
+	s.mu.Unlock()
+}
+
+// handoff releases mu before taking idxMu: no overlap, no edge.
+func (s *store) handoff(k string) {
+	s.mu.Lock()
+	v := s.data[k]
+	s.mu.Unlock()
+	s.idxMu.Lock()
+	_ = v
+	s.idxMu.Unlock()
+}
+
+// pair locks two instances of the same type in address order: same lock
+// identity on both sides, which the rule treats as hierarchical, not
+// cyclic.
+type pair struct {
+	mu sync.Mutex
+	n  int
+}
+
+func merge(a, b *pair) {
+	a.mu.Lock()
+	b.mu.Lock()
+	a.n += b.n
+	b.n = 0
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -131,6 +131,12 @@ type depositMsg struct {
 // every collective's compute closure against their framed deposits. The
 // root is itself a live rank — its process calls comm.RunRank(0, ...) with
 // this transport.
+//
+// Lock order: failMu and mu are never held together. failMu guards only
+// the failure funnel (failf, pending) and is always released before any
+// call that could take mu; mu guards the collective state machine. Keep it
+// that way — nesting them in either direction starts a lock-order cycle
+// (enforced by optipartlint's lockorder rule).
 type Root struct {
 	p    int
 	opts Options
@@ -693,6 +699,9 @@ func (r *Root) mismatch(st *comm.StepState, deposits []*depositMsg) error {
 // Worker is the transport of one non-root rank: a single framed connection
 // to the root, a reader goroutine answering heartbeats and collecting
 // results, and reconnect-with-backoff when the connection breaks.
+//
+// Lock order: as on Root, failMu (failure funnel) and mu (step state) are
+// disjoint and never nested; acquire at most one at a time.
 type Worker struct {
 	rank, p  int
 	inc      uint64 // incarnation number carried in every hello

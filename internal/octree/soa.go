@@ -63,6 +63,8 @@ func (s *SoA) Keys(dst []sfc.Key) []sfc.Key {
 // It is the cache's exact-match verification: a content-hash collision is
 // caught here instead of silently returning another octree's partition. The
 // comparison is allocation-free and scans each column densely.
+//
+//alloc:zero
 func (s *SoA) EqualKeys(ks []sfc.Key) bool {
 	if s.Len() != len(ks) {
 		return false

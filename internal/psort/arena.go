@@ -61,14 +61,18 @@ func (a *Arena) growKeys(n int) {
 
 // Keys returns the arena-owned key column resized to n, for callers that
 // copy a request in before canonicalizing it. The contents are undefined.
+//
+//alloc:zero once the column is warm; growth is the first-use cold path.
 func (a *Arena) Keys(n int) []sfc.Key {
-	a.growKeys(n)
+	a.growKeys(n) //alloc:escape column growth runs once per size high-water mark; a warm arena reslices
 	return a.keys
 }
 
 // Trim releases any column that grew past MaxArenaKeys. Call it when a sort
 // (or a service request) finishes: bounded columns are kept warm for the
 // next use, outsized ones go to the collector.
+//
+//alloc:zero
 func (a *Arena) Trim() {
 	if cap(a.ranks) > MaxArenaKeys {
 		a.ranks, a.rAlt = nil, nil

@@ -31,6 +31,7 @@ type digester struct{ h1, h2 uint64 }
 
 func newDigester() digester { return digester{h1: fnvOffset64, h2: altOffset64} }
 
+//alloc:zero
 func (d *digester) word(x uint64) {
 	d.h1 = (d.h1 ^ x) * fnvPrime64
 	d.h2 = (d.h2 ^ x) * altPrime64
@@ -38,6 +39,8 @@ func (d *digester) word(x uint64) {
 
 // str folds a string without allocating: 8 bytes per word, length-prefixed
 // so "ab"+"c" and "a"+"bc" cannot collide across adjacent fields.
+//
+//alloc:zero
 func (d *digester) str(s string) {
 	d.word(uint64(len(s)))
 	var w uint64
@@ -57,6 +60,8 @@ func (d *digester) str(s string) {
 
 // sum finishes both lanes with an avalanche (xorshift-multiply) so that
 // low-entropy tails still flip high bits.
+//
+//alloc:zero
 func (d *digester) sum() digest128 {
 	mix := func(h uint64) uint64 {
 		h ^= h >> 33
@@ -75,6 +80,8 @@ func (d *digester) sum() digest128 {
 // identity, the application parameters — followed by the canonical octree
 // itself. Two requests digest equal iff they ask the same question (up to a
 // 2^-128 collision, which the element-wise verify then catches).
+//
+//alloc:zero
 func digestRequest(req *Request, canon []sfc.Key) digest128 {
 	d := newDigester()
 	d.word(uint64(req.CurveKind))

@@ -190,6 +190,10 @@ func (s *Service) Metrics() Metrics {
 // (hit=true, zero allocations in the steady state), and otherwise computes
 // the partition under fair admission and caches the result. The returned
 // Response is shared: callers must not mutate it.
+//
+// (the pending entry) or below admitAndCompute (the computation itself).
+//
+//alloc:zero the cache-hit path: every allocation of a miss lives in lead
 func (s *Service) Do(req Request) (resp *Response, hit bool, err error) {
 	if err := validate(&req); err != nil {
 		return nil, false, err
@@ -210,50 +214,61 @@ func (s *Service) Do(req Request) (resp *Response, hit bool, err error) {
 	}
 	s.metrics.Requests++
 
-	if e, ok := s.entries[d]; ok {
-		waited := false
-		if !e.done {
-			// Singleflight follower: an identical request is in flight.
-			waited = true
-			for !e.done && !s.closed {
-				s.cond.Wait()
-			}
-			if !e.done {
-				s.mu.Unlock()
-				s.putArena(a)
-				return nil, false, ErrClosed
-			}
+	e, ok := s.entries[d]
+	if !ok {
+		// Singleflight leader: lead publishes the pending entry (the one
+		// heap allocation of a miss), computes, and fills it. Called with
+		// s.mu held; returns with it released.
+		return s.lead(d, req, curve, canon, a)
+	}
+	waited := false
+	if !e.done {
+		// Singleflight follower: an identical request is in flight.
+		waited = true
+		for !e.done && !s.closed {
+			s.cond.Wait()
 		}
-		if e.err != nil {
-			err := e.err
+		if !e.done {
 			s.mu.Unlock()
 			s.putArena(a)
-			return nil, false, err
+			return nil, false, ErrClosed
 		}
-		if e.keys.EqualKeys(canon) {
-			if e.inLRU {
-				s.lruTouch(e)
-			}
-			if waited {
-				s.metrics.Coalesced++
-			} else {
-				s.metrics.Hits++
-			}
-			s.putArenaLocked(a)
-			resp := &e.resp
-			s.mu.Unlock()
-			return resp, true, nil
-		}
-		// Same digest, different octree: a genuine 128-bit collision.
-		// Compute uncached so neither request corrupts the other.
-		s.metrics.Collisions++
-		s.mu.Unlock()
-		resp, err := s.admitAndCompute(req, curve, canon)
-		s.putArena(a)
-		return resp, false, err
 	}
+	if e.err != nil {
+		err := e.err
+		s.mu.Unlock()
+		s.putArena(a)
+		return nil, false, err
+	}
+	if e.keys.EqualKeys(canon) {
+		if e.inLRU {
+			s.lruTouch(e)
+		}
+		if waited {
+			s.metrics.Coalesced++
+		} else {
+			s.metrics.Hits++
+		}
+		s.putArenaLocked(a)
+		r := &e.resp
+		s.mu.Unlock()
+		return r, true, nil
+	}
+	// Same digest, different octree: a genuine 128-bit collision.
+	// Compute uncached so neither request corrupts the other.
+	s.metrics.Collisions++
+	s.mu.Unlock()
+	r, cerr := s.admitAndCompute(req, curve, canon)
+	s.putArena(a)
+	return r, false, cerr
+}
 
-	// Singleflight leader: publish a pending entry, compute, fill it.
+// lead is the singleflight-leader slow path: it publishes a pending entry
+// under the caller's critical section (so concurrent identical requests
+// become followers, not second leaders), releases the lock, computes under
+// fair admission, and fills the entry. Called with s.mu held; returns with
+// it released.
+func (s *Service) lead(d digest128, req Request, curve *sfc.Curve, canon []sfc.Key, a *psort.Arena) (*Response, bool, error) {
 	e := &entry{digest: d}
 	s.entries[d] = e
 	s.metrics.Misses++
@@ -306,17 +321,22 @@ func validate(req *Request) error {
 // curve, and strips duplicates and ancestors — the canonical linear octree
 // that content-addresses the request. Allocation-free once the arena and
 // curve cache are warm.
+//
+// octree allocates once and is waived below.
+//
+//alloc:zero warm-path contract; first sight of a curve kind or a bigger
 func (s *Service) canonicalize(req *Request, a *psort.Arena) ([]sfc.Key, *sfc.Curve) {
 	s.mu.Lock()
 	id := curveID{kind: req.CurveKind, dim: req.Dim}
 	curve := s.curves[id]
 	if curve == nil {
 		curve = sfc.NewCurve(req.CurveKind, req.Dim)
+		//lint:ignore unboundedgrowth the key domain is validated: dim is checked to {2,3} and curve kinds are a small enum, so curves holds at most kinds x 2 entries
 		s.curves[id] = curve
 	}
 	s.mu.Unlock()
 
-	keys := a.Keys(len(req.Keys))
+	keys := a.Keys(len(req.Keys)) //alloc:escape arena column growth is a once-per-high-water-mark cold path; warm arenas reslice
 	copy(keys, req.Keys)
 	psort.TreeSortArena(curve, keys, a)
 	return octree.LinearizeSorted(keys), curve
@@ -324,6 +344,10 @@ func (s *Service) canonicalize(req *Request, a *psort.Arena) ([]sfc.Key, *sfc.Cu
 
 // admitAndCompute waits for a fair execution slot, runs the partitioning
 // world, and charges the tenant for the canonical keys processed.
+//
+// allocates freely, but admission itself must not.
+//
+//alloc:zero on its own lines: the partitioning world below compute
 func (s *Service) admitAndCompute(req Request, curve *sfc.Curve, canon []sfc.Key) (*Response, error) {
 	if !s.queue.Acquire(req.Tenant) {
 		return nil, ErrClosed
@@ -375,6 +399,8 @@ func compute(req Request, curve *sfc.Curve, canon []sfc.Key) (*Response, error) 
 }
 
 // lruInsert places e at the head (most recently used).
+//
+//alloc:zero
 func (s *Service) lruInsert(e *entry) {
 	e.inLRU = true
 	e.prev = nil
@@ -389,6 +415,8 @@ func (s *Service) lruInsert(e *entry) {
 }
 
 // lruRemove unlinks e.
+//
+//alloc:zero
 func (s *Service) lruRemove(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -405,6 +433,8 @@ func (s *Service) lruRemove(e *entry) {
 }
 
 // lruTouch moves e to the head. Zero allocations: two pointer splices.
+//
+//alloc:zero
 func (s *Service) lruTouch(e *entry) {
 	if s.lruHead == e {
 		return
@@ -415,6 +445,8 @@ func (s *Service) lruTouch(e *entry) {
 
 // evictLocked drops least-recently-used entries until the cache fits the
 // key bound again, never evicting keep (the entry just inserted).
+//
+//alloc:zero
 func (s *Service) evictLocked(keep *entry) {
 	for s.cachedKeys > s.cfg.MaxCachedKeys && s.lruTail != nil && s.lruTail != keep {
 		victim := s.lruTail
@@ -426,6 +458,10 @@ func (s *Service) evictLocked(keep *entry) {
 }
 
 // getArena pops a warm arena from the freelist or builds a fresh one.
+//
+// so the fresh-arena fallback below runs only at startup (waived).
+//
+//alloc:zero in the steady state: the freelist is sized to the slot count,
 func (s *Service) getArena() *psort.Arena {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -434,17 +470,20 @@ func (s *Service) getArena() *psort.Arena {
 		s.arenas = s.arenas[:n-1]
 		return a
 	}
-	return new(psort.Arena)
+	return new(psort.Arena) //alloc:escape freelist empty: startup, or more concurrent requests than MaxArenas
 }
 
 // putArena returns an arena to the freelist, trimming oversized columns so
 // one huge request cannot pin memory; past MaxArenas the arena is dropped.
+//
+//alloc:zero
 func (s *Service) putArena(a *psort.Arena) {
 	s.mu.Lock()
 	s.putArenaLocked(a)
 	s.mu.Unlock()
 }
 
+//alloc:zero the freelist append reuses capacity after the first few puts.
 func (s *Service) putArenaLocked(a *psort.Arena) {
 	a.Trim()
 	if len(s.arenas) < s.cfg.MaxArenas {

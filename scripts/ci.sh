@@ -35,11 +35,29 @@ go run ./cmd/optipartlint -json ./... >"$lintreport"
 go run ./cmd/optipartlint -check "$lintreport"
 go run ./cmd/optipartlint -listignores ./... >/dev/null
 
+echo "==> allocgate ./... (compiler-verified //alloc:zero contracts)"
+# The gate re-runs escape analysis and fails if any heap allocation lands
+# inside an //alloc:zero function without an //alloc:escape waiver. The
+# parser fails closed on toolchain drift, so a Go upgrade that rewords -m
+# output stops CI here instead of silently passing allocating code.
+go run ./cmd/allocgate ./...
+
+echo "==> allocgate -json report parses"
+allocreport=$(mktemp)
+trap 'rm -f "$lintreport" "$allocreport"' EXIT
+go run ./cmd/allocgate -json ./... >"$allocreport"
+go run ./cmd/allocgate -check "$allocreport"
+
 echo "==> go test -race -shuffle=on $* ./..."
 go test -race -shuffle=on "$@" ./...
 
 echo "==> par/comm/psort dedicated race pass"
 go test -race -shuffle=on -count=1 ./internal/par ./internal/comm ./internal/psort
+
+echo "==> lint dedicated race pass"
+# The analyzers themselves are exercised under the race detector with test
+# shuffling: fixture expectations must not depend on package or test order.
+go test -race -shuffle=on -count=1 ./internal/lint
 
 echo "==> service/alloc dedicated race pass"
 # The service layer is the one place concurrent client goroutines share
