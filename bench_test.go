@@ -167,6 +167,54 @@ func BenchmarkSampleSortBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkRepartitionStep drives the serial incremental engine through an
+// evolving mesh (the same moving-front adaptivity as `experiments -run
+// repart`). warm applies each step's edit script — only refined/coarsened
+// subtrees re-rank, every other element keeps its cached curve rank — while
+// cold re-ingests the full mesh every step (Rebuild, the no-rank-cache
+// baseline). Both warm-start placement selection from the prior, so the
+// timing difference isolates the rank-cache reuse; moved-bytes/op records
+// the migration traffic of the adopted placements.
+func BenchmarkRepartitionStep(b *testing.B) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	m := machine.Titan()
+	start := octree.Balance21(octree.AdaptiveMesh(
+		rand.New(rand.NewSource(7)), 800, 3, octree.Normal, 8)).WithCurve(curve).Leaves
+	cfg := partition.RepartConfig{Curve: curve, P: 16, Machine: m, Tol: 0.03, Horizon: 240}
+	newFront := func() *octree.Evolver {
+		ev := octree.NewEvolver(curve, 11, start)
+		ev.RefineBias, ev.CoarsenBias = octree.FrontBias(3, 2, 8, 0.1)
+		return ev
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		e := partition.NewRepartitioner(cfg)
+		e.Seed(start)
+		ev := newFront()
+		var movedBytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := e.Step(ev.Step(0.002, 0.0025))
+			movedBytes += res.MovedBytes
+		}
+		b.ReportMetric(float64(movedBytes)/float64(b.N), "moved-bytes/op")
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		e := partition.NewRepartitioner(cfg)
+		e.Seed(start)
+		ev := newFront()
+		var movedBytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Step(0.002, 0.0025)
+			res := e.Rebuild(ev.Leaves(), e.Splitters())
+			movedBytes += res.MovedBytes
+		}
+		b.ReportMetric(float64(movedBytes)/float64(b.N), "moved-bytes/op")
+	})
+}
+
 func BenchmarkMatvec(b *testing.B) {
 	curve := optipart.NewCurve(optipart.Hilbert, 3)
 	m := optipart.Wisconsin8()

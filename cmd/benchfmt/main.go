@@ -40,6 +40,12 @@ type Result struct {
 	P50Ns     float64  `json:"p50_ns_per_op,omitempty"`
 	P99Ns     float64  `json:"p99_ns_per_op,omitempty"`
 	HitRate   *float64 `json:"hit_rate,omitempty"`
+
+	// MovedBytes is the migration traffic of a RepartitionStep op
+	// (moved-bytes/op). A pointer for the same reason as HitRate: a step
+	// that keeps the prior placement moves exactly 0 bytes, and that zero
+	// is the measurement.
+	MovedBytes *float64 `json:"moved_bytes_per_op,omitempty"`
 }
 
 // Entry pairs a current measurement with its baseline, when one exists.
@@ -174,6 +180,35 @@ func checkFile(path string) error {
 			}
 		}
 	}
+	// RepartitionStep completeness (BENCH_10.json): every variant must
+	// carry its moved-bytes/op measurement, both warm and cold variants
+	// must be present when either is, and the recorded warm step must be
+	// faster than the recorded cold one — the claim the record exists to
+	// pin. A re-capture that loses the custom metric, drops a variant, or
+	// shows the rank cache no longer paying fails here, not in review.
+	repart := map[string]Entry{}
+	for _, e := range f.Benchmarks {
+		if rest, ok := strings.CutPrefix(e.Name, "BenchmarkRepartitionStep/"); ok {
+			if e.MovedBytes == nil {
+				return fmt.Errorf("%s: %s has no moved-bytes/op", path, e.Name)
+			}
+			if *e.MovedBytes < 0 {
+				return fmt.Errorf("%s: %s moved-bytes/op %v is negative", path, e.Name, *e.MovedBytes)
+			}
+			repart[rest] = e
+		}
+	}
+	if len(repart) > 0 {
+		warm, okW := repart["warm"]
+		cold, okC := repart["cold"]
+		if !okW || !okC {
+			return fmt.Errorf("%s: RepartitionStep needs both warm and cold variants, have %d", path, len(repart))
+		}
+		if warm.NsPerOp >= cold.NsPerOp {
+			return fmt.Errorf("%s: warm RepartitionStep (%v ns/op) not faster than cold (%v ns/op)",
+				path, warm.NsPerOp, cold.NsPerOp)
+		}
+	}
 	return nil
 }
 
@@ -248,6 +283,9 @@ func parseLine(line string) (Result, bool) {
 		case "hit-rate":
 			v := v
 			r.HitRate = &v
+		case "moved-bytes/op":
+			v := v
+			r.MovedBytes = &v
 		}
 	}
 	if r.NsPerOp == 0 {

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLineMovedBytes(t *testing.T) {
+	r, ok := parseLine("BenchmarkRepartitionStep/warm-8 \t86 \t39558344 ns/op \t284359 moved-bytes/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkRepartitionStep/warm" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.MovedBytes == nil || *r.MovedBytes != 284359 {
+		t.Fatalf("moved-bytes/op not captured: %+v", r.MovedBytes)
+	}
+	// A keep-every-step capture records exactly 0, not absence.
+	r, ok = parseLine("BenchmarkRepartitionStep/warm-8 \t100 \t1000 ns/op \t0 moved-bytes/op")
+	if !ok || r.MovedBytes == nil || *r.MovedBytes != 0 {
+		t.Fatalf("zero moved-bytes/op dropped: %+v", r.MovedBytes)
+	}
+}
+
+func TestParseLineStillHandlesThroughput(t *testing.T) {
+	r, ok := parseLine("BenchmarkServiceLoad/mix=hit/conc=4 \t8000 \t250000 ns/op \t16000.0 req/s \t240000 p50-ns/op \t310000 p99-ns/op \t1.000 hit-rate")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.ReqPerSec != 16000 || r.HitRate == nil || *r.HitRate != 1 {
+		t.Fatalf("throughput fields lost: %+v", r)
+	}
+}
+
+// writeBench writes a File to a temp path and returns the path.
+func writeBench(t *testing.T, f File) string {
+	t.Helper()
+	data, err := json.Marshal(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func repartEntry(variant string, ns float64, moved *float64) Entry {
+	return Entry{Result: Result{
+		Name: "BenchmarkRepartitionStep/" + variant, Pkg: "optipart",
+		Iterations: 10, NsPerOp: ns, MovedBytes: moved,
+	}}
+}
+
+func TestCheckFileRepartCompleteness(t *testing.T) {
+	mv := func(v float64) *float64 { return &v }
+
+	ok := File{Note: "t", Benchmarks: []Entry{
+		repartEntry("warm", 4e7, mv(284359)),
+		repartEntry("cold", 4.7e7, mv(309556)),
+	}}
+	if err := checkFile(writeBench(t, ok)); err != nil {
+		t.Fatalf("complete record rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		f    File
+		want string
+	}{
+		{"missing moved-bytes", File{Benchmarks: []Entry{
+			repartEntry("warm", 4e7, nil),
+			repartEntry("cold", 4.7e7, mv(1)),
+		}}, "moved-bytes/op"},
+		{"negative moved-bytes", File{Benchmarks: []Entry{
+			repartEntry("warm", 4e7, mv(-1)),
+			repartEntry("cold", 4.7e7, mv(1)),
+		}}, "negative"},
+		{"cold variant missing", File{Benchmarks: []Entry{
+			repartEntry("warm", 4e7, mv(1)),
+		}}, "both warm and cold"},
+		{"warm not faster", File{Benchmarks: []Entry{
+			repartEntry("warm", 5e7, mv(1)),
+			repartEntry("cold", 4.7e7, mv(1)),
+		}}, "not faster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkFile(writeBench(t, tc.f))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckFileUnrelatedRecordUnaffected(t *testing.T) {
+	// Records with no RepartitionStep entries (BENCH_1..9) pass untouched.
+	f := File{Benchmarks: []Entry{{Result: Result{Name: "BenchmarkTreeSortHilbert", NsPerOp: 1e6, Iterations: 5}}}}
+	if err := checkFile(writeBench(t, f)); err != nil {
+		t.Fatalf("pre-existing record shape rejected: %v", err)
+	}
+}

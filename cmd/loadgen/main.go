@@ -66,6 +66,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*rate, *duration, *n, *octrees, *ranks, *slots, *tenants); err != nil {
+		fatal(err)
+	}
 	m, pmode, err := parseModel(*machine, *mode)
 	if err != nil {
 		fatal(err)
@@ -365,6 +368,36 @@ func report(mix string, conc int, rate float64, ce *cell, elapsed time.Duration)
 	}
 	fmt.Printf("%s \t%8d \t%12.0f ns/op \t%10.1f req/s \t%12d p50-ns/op \t%12d p99-ns/op \t%6.3f hit-rate\n",
 		label, n, float64(avg.Nanoseconds()), rps, p50.Nanoseconds(), p99.Nanoseconds(), hitRate)
+}
+
+// validateFlags range-checks the numeric flags before any workload is
+// generated: a negative rate would silently select the closed loop, a
+// non-positive duration measures nothing and dies mid-run with "no requests
+// completed", and non-positive -octrees or -tenants divide by zero in the
+// request builder once workers are already firing.
+func validateFlags(rate float64, duration time.Duration, n, octrees, ranks, slots, tenants int) error {
+	if rate < 0 {
+		return fmt.Errorf("-rate %g: must be >= 0 (0 selects the closed loop)", rate)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration %v: need a positive measurement window", duration)
+	}
+	if n < 1 {
+		return fmt.Errorf("-n %d: need at least one key per request", n)
+	}
+	if octrees < 1 {
+		return fmt.Errorf("-octrees %d: need at least one octree in the pool", octrees)
+	}
+	if ranks < 1 {
+		return fmt.Errorf("-ranks %d: need at least one partition per request", ranks)
+	}
+	if slots < 1 {
+		return fmt.Errorf("-slots %d: need at least one admission slot", slots)
+	}
+	if tenants < 1 {
+		return fmt.Errorf("-tenants %d: need at least one tenant", tenants)
+	}
+	return nil
 }
 
 func parseConcs(s string) ([]int, error) {

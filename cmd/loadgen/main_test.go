@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// good is a set of passing flag values; each case below breaks one of them.
+func good() (rate float64, duration time.Duration, n, octrees, ranks, slots, tenants int) {
+	return 0, 2 * time.Second, 5000, 8, 8, 2, 1
+}
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	if err := validateFlags(good()); err != nil {
+		t.Fatalf("default-shaped flags rejected: %v", err)
+	}
+	// An open-loop rate is equally valid.
+	_, d, n, o, r, s, tn := good()
+	if err := validateFlags(50, d, n, o, r, s, tn); err != nil {
+		t.Fatalf("open-loop rate rejected: %v", err)
+	}
+}
+
+func TestValidateFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*float64, *time.Duration, *int, *int, *int, *int, *int)
+		want   string
+	}{
+		{"negative rate", func(rate *float64, _ *time.Duration, _, _, _, _, _ *int) { *rate = -1 }, "-rate"},
+		{"zero duration", func(_ *float64, d *time.Duration, _, _, _, _, _ *int) { *d = 0 }, "-duration"},
+		{"negative duration", func(_ *float64, d *time.Duration, _, _, _, _, _ *int) { *d = -time.Second }, "-duration"},
+		{"zero keys", func(_ *float64, _ *time.Duration, n, _, _, _, _ *int) { *n = 0 }, "-n"},
+		{"zero octrees", func(_ *float64, _ *time.Duration, _, o, _, _, _ *int) { *o = 0 }, "-octrees"},
+		{"zero ranks", func(_ *float64, _ *time.Duration, _, _, r, _, _ *int) { *r = 0 }, "-ranks"},
+		{"zero slots", func(_ *float64, _ *time.Duration, _, _, _, s, _ *int) { *s = 0 }, "-slots"},
+		{"zero tenants", func(_ *float64, _ *time.Duration, _, _, _, _, tn *int) { *tn = 0 }, "-tenants"},
+		{"negative tenants", func(_ *float64, _ *time.Duration, _, _, _, _, tn *int) { *tn = -3 }, "-tenants"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rate, d, n, o, r, s, tn := good()
+			tc.mutate(&rate, &d, &n, &o, &r, &s, &tn)
+			err := validateFlags(rate, d, n, o, r, s, tn)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the flag %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseConcs(t *testing.T) {
+	if _, err := parseConcs("-2"); err == nil {
+		t.Error("negative concurrency accepted")
+	}
+	if _, err := parseConcs(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := parseConcs("1,x"); err == nil {
+		t.Error("non-numeric entry accepted")
+	}
+	got, err := parseConcs("1, 4,1")
+	if err != nil {
+		t.Fatalf("parseConcs: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("duplicates not collapsed: %v", got)
+	}
+	// 0 maps to GOMAXPROCS, which is always >= 1.
+	got, err = parseConcs("0")
+	if err != nil {
+		t.Fatalf("parseConcs(0): %v", err)
+	}
+	if len(got) != 1 || got[0] < 1 {
+		t.Fatalf("0 did not map to a positive width: %v", got)
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	m, mode, err := parseModel("titan", "equal")
+	if err != nil {
+		t.Fatalf("parseModel: %v", err)
+	}
+	if m.Name != "Titan" {
+		t.Fatalf("case-insensitive machine lookup returned %q", m.Name)
+	}
+	_ = mode
+	if _, _, err := parseModel("CM-5", "equal"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, _, err := parseModel("Titan", "fastest"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -8,6 +8,14 @@
 //	optipart -p 64 -n 200000 -mode flexible -tol 0.3
 //	optipart -p 64 -n 200000 -kill 3@40 -straggler 5@2.5,1.5
 //	optipart -p 64 -n 200000 -loss 0.1 -corrupt 0.02 -retry 8
+//	optipart -p 16 -n 100000 -machine Titan -repart-steps 12 -refine-frac 0.008
+//
+// -repart-steps runs the online AMR loop instead of a single partition:
+// the mesh evolves under a moving refinement front and each step is
+// repartitioned incrementally from the previous placement, adopting a
+// rebalance only when the migration-aware objective says the moved bytes
+// pay for themselves. See also `experiments -run repart` for the campaign
+// comparison against from-scratch partitioning.
 //
 // -kill and -straggler run the partition under the checked fault-injected
 // runtime: a killed rank tears the world down with a structured error
@@ -41,7 +49,7 @@ func main() {
 		machine  = flag.String("machine", "Clemson-32", "machine model: Titan, Stampede, Clemson-32, Wisconsin-8")
 		curveArg = flag.String("curve", "hilbert", "space-filling curve: morton or hilbert")
 		mode     = flag.String("mode", "optipart", "partitioning mode: equal, flexible, optipart")
-		tol      = flag.Float64("tol", 0.3, "tolerance for -mode flexible")
+		tol      = flag.Float64("tol", 0.3, "tolerance for -mode flexible and the incremental keep window of -repart-steps")
 		dist     = flag.String("dist", "normal", "element distribution: uniform, normal, lognormal")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		alpha    = flag.Float64("alpha", optipart.DefaultAlpha, "memory accesses per unit work (application model)")
@@ -52,6 +60,8 @@ func main() {
 		corrupt  = flag.Float64("corrupt", 0, "per-frame corruption rate in [0,1] on every link (uses the reliable transport)")
 		retry    = flag.Int("retry", 0, "retransmit cap per message before the link is declared dead (0 = default)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width shared by all ranks (1 forces the serial paths; results are identical at every width)")
+		rsteps   = flag.Int("repart-steps", 0, "run an online AMR loop: evolve an adaptive mesh this many refine/coarsen steps under a moving front and repartition incrementally each step (0 = single-shot partition)")
+		rfrac    = flag.Float64("refine-frac", 0.008, "per-leaf refinement fraction per step, in (0,1) (coarsening drains at 1.25x behind the front; only with -repart-steps)")
 	)
 	flag.Parse()
 
@@ -90,6 +100,20 @@ func main() {
 		d = optipart.LogNormal
 	default:
 		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+
+	if *rsteps < 0 {
+		fatal(fmt.Errorf("-repart-steps %d: must be >= 0", *rsteps))
+	}
+	if *rfrac <= 0 || *rfrac >= 1 {
+		fatal(fmt.Errorf("-refine-frac %g: must be in (0,1)", *rfrac))
+	}
+	if *rsteps > 0 {
+		if *kill != "" || *strag != "" || *loss != 0 || *corrupt != 0 || *retry != 0 {
+			fatal(fmt.Errorf("-repart-steps does not combine with the fault-injection flags; use `experiments -run faults` for failure campaigns"))
+		}
+		runRepartLoop(*p, *n, m, curve, kind, d, *seed, *rsteps, *rfrac, *tol, *alpha)
+		return
 	}
 
 	plan, err := buildPlan(*p, *kill, *strag, *loss, *corrupt, *retry, *seed)
@@ -161,6 +185,78 @@ func main() {
 		fmt.Println()
 		comm.RenderTimeline(os.Stdout, tr, *p, 100)
 	}
+}
+
+// runRepartLoop drives the -repart-steps online AMR loop: a seeded adaptive
+// mesh (refined around -n/64 random points, 2:1 balanced) evolves under a
+// moving refinement front, the initial placement comes from model-driven
+// OptiPart, and every subsequent step is repartitioned incrementally from
+// the placement in force — in-tolerance separators keep their keys, and a
+// rebalance is adopted only when J = horizon·Tp + tw·movedBytes says the
+// movement pays for itself. The table accounts both currencies per step.
+func runRepartLoop(p, n int, m optipart.Machine, curve *optipart.Curve, kind optipart.CurveKind,
+	d optipart.Distribution, seed int64, steps int, refineFrac, tol, alpha float64) {
+	rng := rand.New(rand.NewSource(seed))
+	nSeeds := n / 64
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	tree := optipart.Balance21(optipart.AdaptiveMesh(rng, nSeeds, 3, d, 8)).WithCurve(curve)
+	ev := optipart.NewEvolver(curve, seed+1, tree.Leaves)
+	ev.RefineBias, ev.CoarsenBias = optipart.FrontBias(3, 2, 8, 0.1)
+	// Coarsening drains slightly faster than refinement feeds so the mesh
+	// stays near its seed size while the resolution peak marches.
+	coarsenFrac := refineFrac * 1.25
+	// Horizon prices each migration against the iterations the placement
+	// serves before the next regrid; implicit AMR solvers run hundreds of
+	// matvecs between regrids (same setting as `experiments -run repart`).
+	const horizon = 240.0
+
+	mesh := append([]optipart.Key(nil), ev.Leaves()...)
+	var sp *optipart.Splitters
+	optipart.Run(p, m, func(c *optipart.Comm) {
+		lo, hi := c.Rank()*len(mesh)/p, (c.Rank()+1)*len(mesh)/p
+		res := optipart.Partition(c, append([]optipart.Key(nil), mesh[lo:hi]...), optipart.Options{
+			Curve: curve, Mode: optipart.ModelDriven, Machine: m, Alpha: alpha, SkipExchange: true,
+		})
+		if c.Rank() == 0 {
+			sp = res.Splitters
+		}
+	})
+
+	fmt.Printf("machine %s | curve %v | online repartition | %d starting octants on %d ranks, %d steps\n\n",
+		m.Name, kind, len(mesh), p, steps)
+	table := stats.NewTable("incremental repartitioning under a moving front",
+		"step", "octants", "moved", "cum moved", "kept seps", "Tp", "cum Tp", "time(s)")
+	var cumMoved int64
+	var cumTp float64
+	for s := 1; s <= steps; s++ {
+		ev.Step(refineFrac, coarsenFrac)
+		mesh = append(mesh[:0], ev.Leaves()...)
+		prior := sp
+		ranges := prior.Ranges(mesh)
+		var rr *optipart.RepartResult
+		st := optipart.Run(p, m, func(c *optipart.Comm) {
+			local := append([]optipart.Key(nil), mesh[ranges[c.Rank()]:ranges[c.Rank()+1]]...)
+			r := optipart.Repartition(c, local, optipart.RepartOptions{
+				Options: optipart.Options{Curve: curve, Machine: m, Tol: tol, Alpha: alpha, SkipExchange: true},
+				Prior:   prior,
+				Horizon: horizon,
+			})
+			if c.Rank() == 0 {
+				rr = r
+			}
+		})
+		sp = rr.Splitters
+		cumMoved += rr.MovedElements
+		cumTp += rr.Predicted
+		table.Add(s, len(mesh), rr.MovedElements, cumMoved, rr.KeptSeps,
+			fmt.Sprintf("%.4g", rr.Predicted), fmt.Sprintf("%.4g", cumTp),
+			fmt.Sprintf("%.4g", st.Time()))
+	}
+	table.Fprint(os.Stdout)
+	fmt.Printf("\ncumulative moved: %d elements (%.1f MB at %d B ghost payload)\n",
+		cumMoved, float64(cumMoved)*float64(optipart.GhostPayloadBytes)/(1<<20), optipart.GhostPayloadBytes)
 }
 
 // buildPlan builds and validates the fault plan from the -kill ("rank@k"),

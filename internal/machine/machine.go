@@ -106,6 +106,37 @@ func (m Machine) PredictLossy(alpha float64, wmax, cmax int64, dropRate float64)
 		m.Tw*float64(GhostPayloadBytes)*float64(cmax)*RetryInflation(dropRate, 0)
 }
 
+// DefaultHorizon is the number of application steps a placement is expected
+// to survive before the next repartition. It is the α-style knob of the
+// migration-aware objective: the repartitioner minimizes
+//
+//	J = horizon·Tp + MigrationCost(movedBytes)
+//
+// so a large horizon amortizes movement over many solves (tolerate more
+// migration for a better Tp), while a small one keeps data where it is
+// (tolerate more imbalance to avoid paying tw twice for the same bytes).
+const DefaultHorizon = 10.0
+
+// MigrationCost is the modeled one-time cost of moving movedBytes of
+// application state between ranks during a repartition: bytes moved × tw,
+// the same currency Eq. (3) charges for ghost exchange. Charging movement
+// in wire seconds is what lets the incremental repartitioner trade residual
+// imbalance against migration on equal terms.
+func (m Machine) MigrationCost(movedBytes int64) float64 {
+	return m.Tw * float64(movedBytes)
+}
+
+// PredictRepartition is the migration-aware objective for adopting a new
+// placement that will serve horizon application steps before the mesh
+// changes again: horizon repeats of Eq. (3) plus the one-time cost of
+// moving movedBytes to install it. horizon <= 0 selects DefaultHorizon.
+func (m Machine) PredictRepartition(alpha float64, payloadBytes int, wmax, cmax, movedBytes int64, horizon float64) float64 {
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	return horizon*m.PredictKernel(alpha, payloadBytes, wmax, cmax) + m.MigrationCost(movedBytes)
+}
+
 func (m Machine) String() string {
 	return fmt.Sprintf("%s (%d nodes × %d ranks, tc=%.2e ts=%.2e tw=%.2e)",
 		m.Name, m.Nodes, m.CoresPerNode, m.Tc, m.Ts, m.Tw)

@@ -106,6 +106,52 @@ func TestRetryInflation(t *testing.T) {
 	}
 }
 
+func TestMigrationCost(t *testing.T) {
+	m := Clemson32()
+	if got := m.MigrationCost(0); got != 0 {
+		t.Fatalf("MigrationCost(0) = %g, want 0", got)
+	}
+	if got, want := m.MigrationCost(1<<20), m.Tw*float64(1<<20); got != want {
+		t.Fatalf("MigrationCost(1MiB) = %g, want bytes*tw = %g", got, want)
+	}
+	// Movement is charged in the same currency as ghost exchange: moving one
+	// payload's worth of bytes costs exactly one communicated element.
+	ghost := m.PredictKernel(DefaultAlpha, GhostPayloadBytes, 0, 1)
+	if got := m.MigrationCost(GhostPayloadBytes); got != ghost {
+		t.Fatalf("MigrationCost(payload) = %g, want tw*payload = %g", got, ghost)
+	}
+}
+
+func TestPredictRepartition(t *testing.T) {
+	m := Wisconsin8()
+	// Zero movement collapses to horizon repeats of the kernel model.
+	kernel := m.PredictKernel(DefaultAlpha, GhostPayloadBytes, 1000, 100)
+	if got, want := m.PredictRepartition(DefaultAlpha, GhostPayloadBytes, 1000, 100, 0, 5), 5*kernel; got != want {
+		t.Fatalf("PredictRepartition with no movement = %g, want 5*kernel = %g", got, want)
+	}
+	// horizon <= 0 means DefaultHorizon.
+	if got, want := m.PredictRepartition(DefaultAlpha, GhostPayloadBytes, 1000, 100, 0, 0),
+		DefaultHorizon*kernel; got != want {
+		t.Fatalf("PredictRepartition at horizon 0 = %g, want DefaultHorizon*kernel = %g", got, want)
+	}
+	// The knob works: over a short horizon a cheap-to-install placement with
+	// worse Tp beats an expensive move to the optimum; over a long horizon
+	// the ranking flips.
+	const moved = 64 << 20
+	stay := func(h float64) float64 {
+		return m.PredictRepartition(DefaultAlpha, GhostPayloadBytes, 1200, 120, 0, h)
+	}
+	move := func(h float64) float64 {
+		return m.PredictRepartition(DefaultAlpha, GhostPayloadBytes, 1000, 100, moved, h)
+	}
+	if stay(1) >= move(1) {
+		t.Fatalf("short horizon should prefer staying put: stay=%g move=%g", stay(1), move(1))
+	}
+	if stay(1e6) <= move(1e6) {
+		t.Fatalf("long horizon should prefer the better Tp: stay=%g move=%g", stay(1e6), move(1e6))
+	}
+}
+
 func TestPredictLossy(t *testing.T) {
 	m := Clemson32()
 	if got, want := m.PredictLossy(DefaultAlpha, 1000, 100, 0), m.Predict(DefaultAlpha, 1000, 100); got != want {

@@ -1,0 +1,193 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"optipart/internal/sfc"
+)
+
+func evolveStartMesh(t *testing.T, kind sfc.Kind) (*sfc.Curve, []sfc.Key) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	m := Balance21(AdaptiveMesh(rng, 200, 3, Normal, 6))
+	curve := sfc.NewCurve(kind, 3)
+	keys := Linearize(curve, append([]sfc.Key(nil), m.Leaves...))
+	if !IsComplete(curve, keys) {
+		t.Fatal("start mesh not complete")
+	}
+	return curve, keys
+}
+
+func TestEvolverPreservesInvariants(t *testing.T) {
+	for _, kind := range []sfc.Kind{sfc.Morton, sfc.Hilbert} {
+		curve, keys := evolveStartMesh(t, kind)
+		e := NewEvolver(curve, 7, keys)
+		for step := 0; step < 12; step++ {
+			d := e.Step(0.08, 0.10)
+			leaves := e.Leaves()
+			if !IsLinear(curve, leaves) {
+				t.Fatalf("%v step %d: evolved mesh not linear", kind, step)
+			}
+			if !IsComplete(curve, leaves) {
+				t.Fatalf("%v step %d: evolved mesh not complete", kind, step)
+			}
+			if d.NewLen != len(leaves) {
+				t.Fatalf("%v step %d: delta NewLen %d, mesh %d", kind, step, d.NewLen, len(leaves))
+			}
+		}
+	}
+}
+
+func TestEvolverDeterministic(t *testing.T) {
+	curve, keys := evolveStartMesh(t, sfc.Hilbert)
+	a := NewEvolver(curve, 11, keys)
+	b := NewEvolver(curve, 11, keys)
+	for step := 0; step < 6; step++ {
+		a.Step(0.1, 0.1)
+		b.Step(0.1, 0.1)
+		la, lb := a.Leaves(), b.Leaves()
+		if len(la) != len(lb) {
+			t.Fatalf("step %d: lengths diverge: %d vs %d", step, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("step %d: leaf %d diverges", step, i)
+			}
+		}
+	}
+	// A different seed must draw a different history.
+	c := NewEvolver(curve, 12, keys)
+	c.Step(0.1, 0.1)
+	a2 := NewEvolver(curve, 11, keys)
+	a2.Step(0.1, 0.1)
+	if len(c.Leaves()) == len(a2.Leaves()) {
+		same := true
+		for i := range c.Leaves() {
+			if c.Leaves()[i] != a2.Leaves()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 11 and 12 produced identical first steps")
+		}
+	}
+}
+
+// TestEvolverDeltaConsistent replays the Delta edit script against the old
+// leaves and checks it reproduces the new mesh exactly — the contract the
+// incremental repartitioner's rank cache depends on.
+func TestEvolverDeltaConsistent(t *testing.T) {
+	curve, keys := evolveStartMesh(t, sfc.Hilbert)
+	e := NewEvolver(curve, 3, keys)
+	old := append([]sfc.Key(nil), e.Leaves()...)
+	nch := curve.NumChildren()
+	for step := 0; step < 8; step++ {
+		d := e.Step(0.1, 0.12)
+		if d.OldLen != len(old) {
+			t.Fatalf("step %d: delta OldLen %d, want %d", step, d.OldLen, len(old))
+		}
+		var replay []sfc.Key
+		ri, ci := 0, 0
+		for i := 0; i < len(old); {
+			if ci < len(d.Coarsened) && d.Coarsened[ci] == i {
+				replay = append(replay, old[i].Parent())
+				i += nch
+				ci++
+				continue
+			}
+			if ri < len(d.Refined) && d.Refined[ri] == i {
+				st := curve.StateAt(old[i])
+				for pos := 0; pos < nch; pos++ {
+					replay = append(replay, old[i].Child(curve.ChildAt(st, pos)))
+				}
+				i++
+				ri++
+				continue
+			}
+			replay = append(replay, old[i])
+			i++
+		}
+		got := e.Leaves()
+		if len(replay) != len(got) {
+			t.Fatalf("step %d: replay length %d, mesh %d", step, len(replay), len(got))
+		}
+		for i := range got {
+			if replay[i] != got[i] {
+				t.Fatalf("step %d: replay diverges at %d", step, i)
+			}
+		}
+		old = append(old[:0], got...)
+	}
+}
+
+func TestEvolverFracExtremes(t *testing.T) {
+	curve, keys := evolveStartMesh(t, sfc.Morton)
+	e := NewEvolver(curve, 1, keys)
+	n0 := len(e.Leaves())
+	d := e.Step(0, 0)
+	if len(d.Refined) != 0 || len(d.Coarsened) != 0 || len(e.Leaves()) != n0 {
+		t.Fatal("zero fractions must be a no-op")
+	}
+	d = e.Step(1, 0)
+	if len(d.Refined) != n0 || len(e.Leaves()) != n0*curve.NumChildren() {
+		t.Fatalf("refineFrac=1 refined %d of %d leaves", len(d.Refined), n0)
+	}
+	// Full coarsening of a uniformly refined mesh undoes the refinement.
+	d = e.Step(0, 1)
+	if len(e.Leaves()) != n0 {
+		t.Fatalf("coarsenFrac=1 after refineFrac=1: %d leaves, want %d", len(e.Leaves()), n0)
+	}
+	if !IsComplete(curve, e.Leaves()) {
+		t.Fatal("mesh not complete after refine/coarsen round trip")
+	}
+}
+
+// TestEvolverFrontBias checks that the biased decision streams stay
+// deterministic and mesh-invariant-preserving, and that the bias does what
+// it claims: the hotspot octant accumulates disproportionate resolution.
+func TestEvolverFrontBias(t *testing.T) {
+	curve, keys := evolveStartMesh(t, sfc.Hilbert)
+	a := NewEvolver(curve, 19, keys)
+	b := NewEvolver(curve, 19, keys)
+	a.RefineBias, a.CoarsenBias = FrontBias(3, 4, 6, 0.25)
+	b.RefineBias, b.CoarsenBias = FrontBias(3, 4, 6, 0.25)
+	for step := 0; step < 4; step++ {
+		a.Step(0.05, 0.2)
+		b.Step(0.05, 0.2)
+		la, lb := a.Leaves(), b.Leaves()
+		if !IsLinear(curve, la) || !IsComplete(curve, la) {
+			t.Fatalf("step %d: biased mesh broke an invariant", step)
+		}
+		if len(la) != len(lb) {
+			t.Fatalf("step %d: biased histories diverge in length", step)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("step %d: biased histories diverge at leaf %d", step, i)
+			}
+		}
+	}
+	// The hotspot has stayed on octant 0 for all 4 steps; it must now hold
+	// more than its 1/8 share of the leaves.
+	var hot int
+	for _, k := range a.Leaves() {
+		if k.ChildLabel(1) == 0 {
+			hot++
+		}
+	}
+	if n := len(a.Leaves()); hot*8 <= n {
+		t.Fatalf("hotspot octant holds %d of %d leaves, want more than 1/8", hot, n)
+	}
+}
+
+func TestNewEvolverRejectsNonLinear(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Morton, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEvolver accepted an ancestor pair")
+		}
+	}()
+	NewEvolver(curve, 1, []sfc.Key{sfc.RootKey, sfc.RootKey.Child(0)})
+}

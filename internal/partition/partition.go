@@ -143,14 +143,23 @@ func Partition(c *comm.Comm, local []sfc.Key, opts Options) *Result {
 	if opts.SkipExchange {
 		return res
 	}
+	res.Local = exchange(c, curve, local, sp, opts.StageWidth)
+	return res
+}
 
+// exchange moves every element to its owner under sp and returns the rank's
+// elements after the exchange, sorted along the curve. The modeled charges
+// (staged all-to-all plus a local sort of the received runs) are exactly
+// what Partition has always paid; Repartition shares them so the two paths
+// price data movement identically.
+func exchange(c *comm.Comm, curve *sfc.Curve, local []sfc.Key, sp *Splitters, stageWidth int) []sfc.Key {
 	c.SetPhase("all2all")
 	ranges := sp.Ranges(local)
 	send := make([][]sfc.Key, c.Size())
 	for r := 0; r < c.Size(); r++ {
 		send[r] = local[ranges[r]:ranges[r+1]]
 	}
-	recv := comm.Alltoallv(c, send, psort.KeyBytes, comm.AlltoallvOptions{StageWidth: opts.StageWidth})
+	recv := comm.Alltoallv(c, send, psort.KeyBytes, comm.AlltoallvOptions{StageWidth: stageWidth})
 
 	c.SetPhase("local sort")
 	var mine []sfc.Key
@@ -158,8 +167,7 @@ func Partition(c *comm.Comm, local []sfc.Key, opts Options) *Result {
 		mine = append(mine, run...)
 	}
 	psort.ChargeLocalSort(c, curve, mine)
-	res.Local = mine
-	return res
+	return mine
 }
 
 // runModelDriven is the OptiPart loop of Algorithm 3. Refinement starts

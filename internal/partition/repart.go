@@ -1,0 +1,334 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"optipart/internal/comm"
+	"optipart/internal/machine"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// RepartOptions configures an incremental repartitioning call.
+type RepartOptions struct {
+	Options
+
+	// Prior is the placement the data currently lives under. Nil derives it
+	// from the current distribution via SplittersFromDistribution — the
+	// PR 1 seam that gives any distributed sort a warm-startable placement.
+	Prior *Splitters
+
+	// Horizon is the migration knob of machine.PredictRepartition (0 means
+	// machine.DefaultHorizon): how many application steps the new placement
+	// must survive before migration pays for itself.
+	Horizon float64
+}
+
+// RepartResult extends Result with the migration accounting of the adopted
+// placement.
+type RepartResult struct {
+	Result
+
+	// MovedElements/MovedBytes count elements whose owner changed from the
+	// prior placement to the adopted one (bytes = elements × PayloadBytes).
+	MovedElements int64
+	MovedBytes    int64
+	MigrationCost float64 // machine.MigrationCost(MovedBytes)
+	Objective     float64 // horizon·Tp + MigrationCost of the adopted placement
+	KeptSeps      int     // separators inherited verbatim from the prior placement
+}
+
+// Repartition is the incremental, migration-aware counterpart of Partition
+// for online AMR loops: it seeds selection from the prior placement and
+// prices every candidate — the kept prior, low-movement merges that re-aim
+// only the separators whose imbalance exceeds the tolerance, and the rungs
+// of a full from-scratch descent — with the migration-aware objective
+// J = horizon·Tp + tw·movedBytes, adopting a rebalance only when the model
+// says the moved bytes pay for themselves within the horizon. On an
+// unchanged mesh the descent reproduces the prior placement, so the call
+// keeps it and moves nothing.
+//
+// local must be each rank's current elements; the prior placement (given
+// or derived) describes where they live, which is what the moved-bytes
+// term charges against. Collective.
+func Repartition(c *comm.Comm, local []sfc.Key, opts RepartOptions) *RepartResult {
+	if opts.Alpha == 0 {
+		opts.Alpha = machine.DefaultAlpha
+	}
+	if opts.PayloadBytes == 0 {
+		opts.PayloadBytes = machine.GhostPayloadBytes
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 0.1
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = machine.DefaultHorizon
+	}
+	curve := opts.Curve
+	m := opts.Machine
+	p := c.Size()
+
+	c.SetPhase("local sort")
+	if psort.IsSorted(curve, local) {
+		// The online loop hands over per-rank data that is already in curve
+		// order (refinement replaces a leaf by its children in place), so
+		// the warm path pays a linear verification scan, not a sort.
+		c.Compute(int64(len(local)) * psort.KeyBytes)
+	} else {
+		psort.ChargeLocalSort(c, curve, local)
+	}
+
+	c.SetPhase("splitter")
+	prior := opts.Prior
+	if prior == nil {
+		prior = SplittersFromDistribution(c, curve, local)
+	}
+	if prior.P() != p {
+		panic(fmt.Errorf("partition: prior placement has %d partitions, world has %d", prior.P(), p))
+	}
+
+	sel := newSelector(c, curve, local, opts.MaxSplitters, opts.Weight)
+
+	// Rung zero: keep the prior placement verbatim. Its quality is the
+	// baseline objective; it moves nothing.
+	best := prior
+	bestQ := EvaluateQuality(c, curve, local, prior)
+	bestTp := bestQ.PredictKernel(m, opts.Alpha, opts.PayloadBytes)
+	bestJ := opts.Horizon * bestTp
+	var bestMoved int64
+	kept := true
+
+	// Global positions of the prior separators in the new element order,
+	// and from them the violated targets: separators farther than the
+	// tolerance slack from their ideal rank r·N/p.
+	slack0 := int64(opts.Tol * sel.grain())
+	priorPos := priorPositions(c, sel, prior)
+	allTargets := sel.targets
+	violated := make([]int64, 0, len(allTargets))
+	violatedIdx := make([]int, 0, len(allTargets))
+	for r, g := range allTargets {
+		dev := priorPos[r] - g
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > slack0 {
+			violated = append(violated, g)
+			violatedIdx = append(violatedIdx, r)
+		}
+	}
+
+	res := &RepartResult{
+		Result: Result{
+			Splitters:   best,
+			Quality:     bestQ,
+			Predicted:   bestTp,
+			AchievedTol: worstDevOf(priorPos, allTargets, sel.grain()),
+		},
+		Objective: bestJ,
+		KeptSeps:  len(allTargets),
+	}
+
+	if len(violated) > 0 {
+		// Refine only the violated targets: the selector's rounds, and
+		// every Allreduce they issue, scale with the damage, not with p.
+		// The merged candidates are the cheap end of the ladder — they
+		// re-aim as few separators as the imbalance allows, so their
+		// moved-bytes term is small.
+		sel.targets = violated
+		for slack := slack0; ; slack /= 2 {
+			for sel.worstDeviation() > slack {
+				if !sel.refineRound(slack) {
+					break
+				}
+			}
+			cand := mergeSeps(curve, prior, sel, violated, violatedIdx)
+			q := EvaluateQuality(c, curve, local, cand)
+			moved := MovedElements(c, local, prior, cand)
+			bytes := moved * int64(opts.PayloadBytes)
+			tp := q.PredictKernel(m, opts.Alpha, opts.PayloadBytes)
+			j := m.PredictRepartition(opts.Alpha, opts.PayloadBytes, q.Wmax, q.Cmax, bytes, opts.Horizon)
+			switch {
+			case (q.Wmin == 0 && q.N >= int64(p)) && slack > 0:
+				// A candidate that empties a rank is never adopted while
+				// refinement can still place its separators better.
+			case j < bestJ:
+				best, bestQ, bestTp, bestJ, bestMoved, kept = cand, q, tp, j, moved, false
+			case j > bestJ:
+				slack = 0 // worse than the best seen: stop after this rung
+			}
+			if slack == 0 {
+				break
+			}
+		}
+		sel.targets = allTargets
+	}
+
+	// Final phase: the from-scratch model-driven descent, priced with the
+	// migration-aware objective. It runs even with no violated separators —
+	// the load-deviation gate cannot see surface-cost drift, where a
+	// within-tolerance placement accumulates boundary area as the mesh
+	// refines around it. The walk needs a fresh selector: the ladder above
+	// refines the shared bucket tree to fine levels around the violated
+	// targets, and separators snapped to deep boundaries carry more surface
+	// than the octant-aligned coarse rungs from-scratch refinement walks
+	// through — the rungs where Algorithm 3 finds its optimum. Every rung
+	// competes on J against both the kept prior and the violated-only
+	// merges above, so a re-aim is adopted only when its movement pays for
+	// itself within the horizon.
+	walk := newSelector(c, curve, local, opts.MaxSplitters, opts.Weight)
+	coarse := int64(walk.grain() / 2)
+	for walk.worstDeviation() > coarse {
+		if !walk.refineRound(coarse) {
+			break
+		}
+	}
+	walkT := math.Inf(1)
+	for {
+		cand := walk.snap()
+		q := EvaluateQuality(c, curve, local, cand)
+		if !(q.Wmin == 0 && q.N >= int64(p)) {
+			tp := q.PredictKernel(m, opts.Alpha, opts.PayloadBytes)
+			moved := MovedElements(c, local, prior, cand)
+			bytes := moved * int64(opts.PayloadBytes)
+			j := m.PredictRepartition(opts.Alpha, opts.PayloadBytes, q.Wmax, q.Cmax, bytes, opts.Horizon)
+			if j < bestJ {
+				best, bestQ, bestTp, bestJ, bestMoved, kept = cand, q, tp, j, moved, false
+			}
+			if tp > walkT {
+				// Same stop as Algorithm 3: further balancing costs more
+				// surface than it saves in load.
+				break
+			}
+			if tp < walkT {
+				walkT = tp
+			}
+		}
+		if !walk.refineRound(0) {
+			break
+		}
+	}
+	sel.rounds += walk.rounds
+	if !kept {
+		res.Result.Splitters = best
+		res.Result.Quality = bestQ
+		res.Result.Predicted = bestTp
+		res.Result.AchievedTol = achievedTolOf(c, sel, local, best)
+		keptSeps := 0
+		for i, sep := range best.Seps {
+			if sep == prior.Seps[i] {
+				keptSeps++
+			}
+		}
+		res.KeptSeps = keptSeps
+	}
+	res.Result.Rounds = sel.rounds
+	res.MovedElements = bestMoved
+	res.MovedBytes = bestMoved * int64(opts.PayloadBytes)
+	res.MigrationCost = m.MigrationCost(res.MovedBytes)
+	res.Objective = bestJ
+
+	if opts.SkipExchange {
+		return res
+	}
+	res.Local = exchange(c, curve, local, best, opts.StageWidth)
+	return res
+}
+
+// priorPositions returns the global rank-space position of each prior
+// separator in the new element order: an Allreduce over per-rank counts of
+// local elements before the separator.
+func priorPositions(c *comm.Comm, sel *selector, prior *Splitters) []int64 {
+	seps := prior.Seps
+	pos := make([]int64, len(seps))
+	for i, sep := range seps {
+		if IsInf(sep) {
+			pos[i] = int64(len(sel.ranks))
+			continue
+		}
+		pos[i] = int64(lowerPos(sel.ranks, sel.curve.Rank(sep)))
+	}
+	c.Compute(int64(len(seps)) * psort.KeyBytes)
+	global := comm.Allreduce(c, pos, 8, comm.SumI64)
+	return global
+}
+
+// worstDevOf returns the worst deviation of the given positions from their
+// targets, in units of the grain.
+func worstDevOf(pos, targets []int64, grain float64) float64 {
+	if grain == 0 {
+		return 0
+	}
+	var worst int64
+	for i, g := range targets {
+		d := pos[i] - g
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return float64(worst) / grain
+}
+
+// achievedTolOf measures the adopted placement's realized tolerance from
+// its range boundaries, using the same global-position reduction as
+// priorPositions.
+func achievedTolOf(c *comm.Comm, sel *selector, local []sfc.Key, sp *Splitters) float64 {
+	pos := priorPositions(c, sel, sp)
+	return worstDevOf(pos, sel.targets, sel.grain())
+}
+
+// mergeSeps assembles a candidate placement: violated separators snap to
+// the refined boundary nearest their target, all others keep their prior
+// key. A monotone clamp (by curve rank) repairs any inversion where a kept
+// separator and a freshly snapped neighbor cross.
+func mergeSeps(curve *sfc.Curve, prior *Splitters, sel *selector, violated []int64, violatedIdx []int) *Splitters {
+	out := make([]sfc.Key, len(prior.Seps))
+	copy(out, prior.Seps)
+	for i, r := range violatedIdx {
+		out[r] = sel.boundaryKeyNear(violated[i])
+	}
+	prev := sfc.Rank128{}
+	havePrev := false
+	for i, sep := range out {
+		kr := sfc.MaxRank128
+		if !IsInf(sep) {
+			kr = curve.Rank(sep)
+		}
+		if havePrev && kr.Less(prev) {
+			out[i] = out[i-1]
+			kr = prev
+		}
+		prev, havePrev = kr, true
+	}
+	return &Splitters{Curve: curve, Seps: out}
+}
+
+// MovedElements counts, collectively, the elements whose owner differs
+// between two placements of the same world size: each rank intersects its
+// prior and next ranges per partition (binary searches over the sorted
+// local elements), and one scalar reduction sums the misplaced counts.
+func MovedElements(c *comm.Comm, local []sfc.Key, prior, next *Splitters) int64 {
+	if prior.P() != next.P() {
+		panic(fmt.Errorf("partition: MovedElements across %d and %d partitions", prior.P(), next.P()))
+	}
+	a := prior.Ranges(local)
+	b := next.Ranges(local)
+	var kept int64
+	for r := 0; r+1 < len(a); r++ {
+		lo, hi := a[r], a[r+1]
+		if b[r] > lo {
+			lo = b[r]
+		}
+		if b[r+1] < hi {
+			hi = b[r+1]
+		}
+		if hi > lo {
+			kept += int64(hi - lo)
+		}
+	}
+	c.Compute(int64(2*prior.P()) * psort.KeyBytes)
+	return comm.AllreduceScalar(c, int64(len(local))-kept, 8, comm.SumI64)
+}

@@ -1,0 +1,550 @@
+package partition
+
+import (
+	"fmt"
+
+	"optipart/internal/machine"
+	"optipart/internal/octree"
+	"optipart/internal/psort"
+	"optipart/internal/sfc"
+)
+
+// RepartConfig parameterizes a serial Repartitioner.
+type RepartConfig struct {
+	Curve *sfc.Curve
+	P     int // number of partitions
+
+	// Machine, Alpha, PayloadBytes parameterize the performance model, as
+	// in Options. Zero Alpha and PayloadBytes select the defaults.
+	Machine      machine.Machine
+	Alpha        float64
+	PayloadBytes int
+
+	// Tol is the imbalance a warm start tolerates before a separator is
+	// considered violated, as a fraction of the ideal grain N/p (0 means
+	// 0.1). Within the tolerance window the engine prefers coarse octant
+	// boundaries, mirroring the flexible-tolerance partitioner.
+	Tol float64
+
+	// Horizon is the migration knob of machine.PredictRepartition: the
+	// number of application steps the placement is expected to survive
+	// (0 means machine.DefaultHorizon).
+	Horizon float64
+}
+
+// StepResult reports the placement one Seed/Step/Rebuild call adopted.
+type StepResult struct {
+	Quality   Quality
+	Predicted float64 // Eq. (3) of the adopted placement, one step
+
+	// MovedElements/MovedBytes count the elements whose owner changed
+	// relative to the placement in force before the call (zero for Seed,
+	// which has no prior). Bytes are elements × PayloadBytes.
+	MovedElements int64
+	MovedBytes    int64
+	MigrationCost float64 // machine.MigrationCost(MovedBytes)
+	Objective     float64 // horizon·Tp + MigrationCost of the adopted placement
+	Rounds        int     // candidate placements priced by the ladder
+	Kept          bool    // the prior placement was kept verbatim
+}
+
+// Repartitioner is the serial incremental repartitioning engine: one
+// address space holding the whole mesh as arena-backed key/rank columns,
+// repartitioned across timesteps of an AMR loop. Seed ingests the first
+// mesh and cold-starts a model-driven placement; Step applies an
+// octree.Delta — re-ranking only the refined and coarsened subtrees while
+// every unchanged element keeps its cached curve rank — and warm-starts the
+// next placement from the previous one, trading residual imbalance against
+// migration through machine.PredictRepartition. The Step path performs no
+// steady-state allocations: columns live on a pooled psort.Arena and all
+// selection scratch is sized once per (p, n) high-water mark.
+//
+// A Repartitioner is not safe for concurrent use.
+type Repartitioner struct {
+	cfg   RepartConfig
+	arena *psort.Arena
+	keys  []sfc.Key     // current mesh, curve order
+	ranks []sfc.Rank128 // ranks[i] = Curve.Rank(keys[i]), the warm cache
+	n     int
+
+	seps     []sfc.Key // p-1 separators of the placement in force
+	sepRanks []sfc.Rank128
+
+	// Selection scratch, sized once for p.
+	aPos, bPos, bestPos []int         // p+1 position arrays
+	candRanks           []sfc.Rank128 // p-1 candidate separator ranks
+	counts              []int64       // 2p quality counters
+}
+
+// NewRepartitioner builds an engine for the given configuration.
+func NewRepartitioner(cfg RepartConfig) *Repartitioner {
+	if cfg.Curve == nil {
+		panic(fmt.Errorf("partition: RepartConfig.Curve is nil"))
+	}
+	if cfg.P < 1 {
+		panic(fmt.Errorf("partition: RepartConfig.P = %d, want >= 1", cfg.P))
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = machine.DefaultAlpha
+	}
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = machine.GhostPayloadBytes
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 0.1
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = machine.DefaultHorizon
+	}
+	p := cfg.P
+	return &Repartitioner{
+		cfg:       cfg,
+		arena:     &psort.Arena{},
+		seps:      make([]sfc.Key, p-1),
+		sepRanks:  make([]sfc.Rank128, p-1),
+		aPos:      make([]int, p+1),
+		bPos:      make([]int, p+1),
+		bestPos:   make([]int, p+1),
+		candRanks: make([]sfc.Rank128, p-1),
+		counts:    make([]int64, 2*p),
+	}
+}
+
+// Len returns the current element count.
+func (e *Repartitioner) Len() int { return e.n }
+
+// Keys returns the current mesh in curve order. The slice is owned by the
+// engine and valid until the next Seed/Step/Rebuild.
+func (e *Repartitioner) Keys() []sfc.Key { return e.keys }
+
+// Splitters returns a fresh Splitters describing the placement in force.
+// It allocates; call it off the hot path.
+func (e *Repartitioner) Splitters() *Splitters {
+	seps := make([]sfc.Key, len(e.seps))
+	copy(seps, e.seps)
+	return &Splitters{Curve: e.cfg.Curve, Seps: seps}
+}
+
+// Seed ingests the first mesh (keys are copied, sorted, and linearized)
+// and cold-starts a placement by the model-driven ladder, with no
+// migration term because there is no prior data to move.
+func (e *Repartitioner) Seed(keys []sfc.Key) StepResult {
+	e.ingest(keys)
+	return e.selectPlacement(false)
+}
+
+// Rebuild re-ingests a full mesh (re-ranking every element) and
+// warm-starts from the given prior placement. It is the entry point for
+// callers that hold a prior Splitters but no edit script — the service's
+// warm path — and adopts exactly the placement Step would have adopted for
+// the same mesh and prior.
+func (e *Repartitioner) Rebuild(keys []sfc.Key, prior *Splitters) StepResult {
+	if prior.P() != e.cfg.P {
+		panic(fmt.Errorf("partition: Rebuild prior has %d partitions, engine has %d", prior.P(), e.cfg.P))
+	}
+	e.ingest(keys)
+	copy(e.seps, prior.Seps)
+	for i, sep := range prior.Seps {
+		if IsInf(sep) {
+			e.sepRanks[i] = sfc.MaxRank128
+		} else {
+			e.sepRanks[i] = e.cfg.Curve.Rank(sep)
+		}
+	}
+	return e.selectPlacement(true)
+}
+
+// Step applies one refine/coarsen delta to the cached mesh and warm-starts
+// the next placement from the previous one. Only refined children and
+// coarsened parents are re-ranked; every other element's cached rank is
+// copied. This is the zero-steady-state-allocation path of the online AMR
+// loop.
+//
+//alloc:zero once the arena columns and scratch are warm; growth past a size high-water mark is the cold path.
+func (e *Repartitioner) Step(delta octree.Delta) StepResult {
+	if delta.OldLen != e.n {
+		//alloc:escape mismatched-delta panic path, never taken in a correct loop
+		panic(fmt.Errorf("partition: Step delta against %d elements, engine holds %d", delta.OldLen, e.n))
+	}
+	e.applyDelta(delta)
+	return e.selectPlacement(true)
+}
+
+// ingest copies keys into the arena columns, sorts them along the curve
+// (filling the rank cache as a side effect of the rank-radix TreeSort),
+// and linearizes duplicates and ancestor pairs out of both columns.
+func (e *Repartitioner) ingest(keys []sfc.Key) {
+	curve := e.cfg.Curve
+	ks := e.arena.Keys(len(keys))
+	copy(ks, keys)
+	psort.TreeSortArena(curve, ks, e.arena)
+	ks, rs := e.arena.Columns(len(keys))
+	if len(keys) < 2 {
+		// TreeSortArena skips trivial inputs without filling the rank
+		// column; complete it here so the cache invariant holds.
+		for i, k := range ks {
+			rs[i] = curve.Rank(k)
+		}
+	}
+	// Dual-column LinearizeSorted: compact keys and ranks in step.
+	out := 0
+	for i := range ks {
+		if i+1 < len(ks) {
+			next := ks[i+1]
+			if ks[i] == next || ks[i].Contains(next) {
+				continue
+			}
+		}
+		ks[out], rs[out] = ks[i], rs[i]
+		out++
+	}
+	e.n = out
+	e.keys, e.ranks = e.arena.Columns(out)
+}
+
+// applyDelta merges the surviving elements into the scratch columns,
+// re-ranking only what the delta touched, then adopts the scratch pair.
+//
+//alloc:zero once the alt columns are warm.
+func (e *Repartitioner) applyDelta(delta octree.Delta) {
+	curve := e.cfg.Curve
+	nch := curve.NumChildren()
+	nk, nr := e.arena.AltColumns(delta.NewLen) //alloc:escape alt-column growth is a once-per-high-water-mark cold path; warm arenas reslice
+	w, ri, ci := 0, 0, 0
+	for i := 0; i < e.n; {
+		if ci < len(delta.Coarsened) && delta.Coarsened[ci] == i {
+			parent := e.keys[i].Parent()
+			nk[w] = parent
+			nr[w] = curve.Rank(parent)
+			w++
+			i += nch
+			ci++
+			continue
+		}
+		if ri < len(delta.Refined) && delta.Refined[ri] == i {
+			st := curve.StateAt(e.keys[i])
+			for pos := 0; pos < nch; pos++ {
+				child := e.keys[i].Child(curve.ChildAt(st, pos)) //alloc:escape Key.Child's max-level panic is inlined here; the Evolver never refines a max-level leaf
+				nk[w] = child
+				nr[w] = curve.Rank(child)
+				w++
+			}
+			i++
+			ri++
+			continue
+		}
+		nk[w] = e.keys[i]
+		nr[w] = e.ranks[i]
+		w++
+		i++
+	}
+	if w != delta.NewLen {
+		//alloc:escape corrupt-delta panic path, never taken in a correct loop
+		panic(fmt.Errorf("partition: delta replay produced %d elements, want %d", w, delta.NewLen))
+	}
+	e.arena.SwapAlt()
+	e.n = delta.NewLen
+	e.keys, e.ranks = e.arena.Columns(delta.NewLen) //alloc:escape column growth is a once-per-high-water-mark cold path; warm arenas reslice
+}
+
+// selectPlacement runs the slack-halving ladder: at each rung, separators
+// whose deviation from the ideal grain exceeds the rung's slack move to
+// the coarsest octant boundary inside the slack window around their
+// target, and the candidate is priced by the migration-aware objective
+// J = horizon·Tp + MigrationCost (warm) or by Tp alone (cold). The ladder
+// keeps the best placement seen and stops at the first worsening rung —
+// the same approach-from-the-right rule as runModelDriven.
+//
+//alloc:zero
+func (e *Repartitioner) selectPlacement(warm bool) StepResult {
+	p := e.cfg.P
+	m := e.cfg.Machine
+	if p == 1 || e.n == 0 {
+		for i := range e.seps {
+			e.seps[i] = InfKey
+			e.sepRanks[i] = sfc.MaxRank128
+		}
+		for i := range e.bPos {
+			e.bPos[i] = e.n
+		}
+		e.bPos[0] = 0
+		q := e.scanQuality(e.bPos)
+		tp := q.PredictKernel(m, e.cfg.Alpha, e.cfg.PayloadBytes)
+		return StepResult{Quality: q, Predicted: tp, Objective: e.cfg.Horizon * tp, Kept: warm}
+	}
+
+	// Prior positions: where the current separators fall in the new mesh.
+	e.aPos[0], e.aPos[p] = 0, e.n
+	for r := 1; r < p; r++ {
+		e.aPos[r] = lowerPos(e.ranks, e.sepRanks[r-1])
+	}
+
+	grain := float64(e.n) / float64(p)
+	slack := int(e.cfg.Tol * grain)
+	if !warm {
+		slack = int(grain / 2)
+	}
+
+	res := StepResult{}
+	bestJ := 0.0
+	haveBest := false
+	if warm {
+		// Rung zero: keep the prior placement verbatim; it moves nothing.
+		q := e.scanQuality(e.aPos)
+		tp := q.PredictKernel(m, e.cfg.Alpha, e.cfg.PayloadBytes)
+		bestJ = e.cfg.Horizon * tp
+		haveBest = true
+		copy(e.bestPos, e.aPos)
+		res = StepResult{Quality: q, Predicted: tp, Objective: bestJ, Rounds: 1, Kept: true}
+	}
+	for {
+		e.buildCandidate(slack, warm)
+		q := e.scanQuality(e.bPos)
+		tp := q.PredictKernel(m, e.cfg.Alpha, e.cfg.PayloadBytes)
+		var moved int64
+		if warm {
+			moved = movedBetween(e.aPos, e.bPos, e.n)
+		}
+		bytes := moved * int64(e.cfg.PayloadBytes)
+		j := m.PredictRepartition(e.cfg.Alpha, e.cfg.PayloadBytes, q.Wmax, q.Cmax, bytes, e.cfg.Horizon)
+		res.Rounds++
+		if !haveBest || j < bestJ {
+			haveBest = true
+			bestJ = j
+			copy(e.bestPos, e.bPos)
+			res.Quality = q
+			res.Predicted = tp
+			res.MovedElements = moved
+			res.MovedBytes = bytes
+			res.MigrationCost = m.MigrationCost(bytes)
+			res.Objective = j
+			res.Kept = false
+		} else if j > bestJ {
+			break // refining further costs more than it saves
+		}
+		if slack == 0 {
+			break
+		}
+		slack /= 2
+	}
+
+	// Adopt the winner. A kept prior stays verbatim (its separator keys may
+	// be octant boundaries that are no longer element keys); a moved
+	// placement re-derives separators from element positions.
+	if !res.Kept {
+		for r := 1; r < p; r++ {
+			if e.bestPos[r] >= e.n {
+				e.seps[r-1] = InfKey
+				e.sepRanks[r-1] = sfc.MaxRank128
+			} else {
+				e.seps[r-1] = e.keys[e.bestPos[r]]
+				e.sepRanks[r-1] = e.ranks[e.bestPos[r]]
+			}
+		}
+	}
+	return res
+}
+
+// buildCandidate fills bPos with the rung's candidate placement: each
+// separator keeps its prior position when within slack of its target
+// (warm), otherwise it snaps to the coarsest element boundary inside the
+// slack window around the target, ties broken toward the target. Positions
+// are clamped strictly increasing, so every partition holds at least one
+// element whenever n >= p.
+//
+//alloc:zero
+func (e *Repartitioner) buildCandidate(slack int, warm bool) {
+	p := e.cfg.P
+	e.bPos[0], e.bPos[p] = 0, e.n
+	if e.n < p {
+		for r := 1; r < p; r++ {
+			e.bPos[r] = r * e.n / p
+		}
+		return
+	}
+	for r := 1; r < p; r++ {
+		target := r * e.n / p
+		if warm {
+			dev := e.aPos[r] - target
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev <= slack {
+				e.bPos[r] = e.aPos[r]
+				e.clampPos(r)
+				continue
+			}
+		}
+		lo, hi := target-slack, target+slack
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > e.n-1 {
+			hi = e.n - 1
+		}
+		best := target
+		if best < lo {
+			best = lo
+		}
+		if best > hi {
+			best = hi
+		}
+		bestLevel := e.keys[best].Level
+		bestDist := best - target
+		if bestDist < 0 {
+			bestDist = -bestDist
+		}
+		for j := lo; j <= hi; j++ {
+			lv := e.keys[j].Level
+			if lv > bestLevel {
+				continue
+			}
+			dist := j - target
+			if dist < 0 {
+				dist = -dist
+			}
+			if lv < bestLevel || dist < bestDist {
+				best, bestLevel, bestDist = j, lv, dist
+			}
+		}
+		e.bPos[r] = best
+		e.clampPos(r)
+	}
+}
+
+// clampPos forces bPos[r] into (bPos[r-1], n-(p-1-r)]: strictly after the
+// previous separator, with room for the separators still to come.
+//
+//alloc:zero
+func (e *Repartitioner) clampPos(r int) {
+	if e.bPos[r] <= e.bPos[r-1] {
+		e.bPos[r] = e.bPos[r-1] + 1
+	}
+	if maxPos := e.n - (e.cfg.P - 1 - r); e.bPos[r] > maxPos {
+		e.bPos[r] = maxPos
+	}
+}
+
+// scanQuality is the serial Algorithm 2: one pass over the mesh under the
+// candidate positions, counting per-partition work and boundary octants
+// (an element is a boundary octant when a same-size face neighbor falls in
+// a different partition). The owner walk is monotone because the mesh is
+// in curve order; neighbor ownership is a binary search over the candidate
+// separator ranks.
+//
+//alloc:zero
+func (e *Repartitioner) scanQuality(pos []int) Quality {
+	curve := e.cfg.Curve
+	p := e.cfg.P
+	dim := curve.Dim
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for r := 1; r < p; r++ {
+		if pos[r] >= e.n {
+			e.candRanks[r-1] = sfc.MaxRank128
+		} else {
+			e.candRanks[r-1] = e.ranks[pos[r]]
+		}
+	}
+	owner := 0
+	for i := 0; i < e.n; i++ {
+		for owner+1 < p && i >= pos[owner+1] {
+			owner++
+		}
+		e.counts[owner]++
+		k := e.keys[i]
+		for axis := 0; axis < dim; axis++ {
+			boundary := false
+			for side := 0; side < 2; side++ {
+				nk, ok := octree.FaceNeighbor(k, octree.Face{Axis: axis, Plus: side == 1})
+				if !ok {
+					continue
+				}
+				if e.ownerOfRank(curve.Rank(nk)) != owner {
+					e.counts[p+owner]++
+					boundary = true
+					break
+				}
+			}
+			if boundary {
+				break
+			}
+		}
+	}
+	q := Quality{Wmin: int64(1) << 62, Cmin: int64(1) << 62}
+	for r := 0; r < p; r++ {
+		w, b := e.counts[r], e.counts[p+r]
+		q.N += w
+		q.Ctot += b
+		if w > q.Wmax {
+			q.Wmax = w
+		}
+		if w < q.Wmin {
+			q.Wmin = w
+		}
+		if b > q.Cmax {
+			q.Cmax = b
+		}
+		if b < q.Cmin {
+			q.Cmin = b
+		}
+	}
+	return q
+}
+
+// ownerOfRank returns the partition owning curve rank kr under the
+// candidate separator ranks: the number of separators at or before kr.
+//
+//alloc:zero
+func (e *Repartitioner) ownerOfRank(kr sfc.Rank128) int {
+	lo, hi := 0, len(e.candRanks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if !kr.Less(e.candRanks[mid]) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerPos returns the first index in ranks with ranks[i] >= r.
+//
+//alloc:zero
+func lowerPos(ranks []sfc.Rank128, r sfc.Rank128) int {
+	lo, hi := 0, len(ranks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ranks[mid].Less(r) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// movedBetween counts the elements whose owner differs between the
+// placements aPos and bPos over a mesh of n elements: n minus the overlap
+// of each rank's old and new ranges — the exact moved-element count,
+// computed from 2(p+1) integers instead of a mesh scan.
+//
+//alloc:zero
+func movedBetween(aPos, bPos []int, n int) int64 {
+	var kept int64
+	for r := 0; r+1 < len(aPos); r++ {
+		lo, hi := aPos[r], aPos[r+1]
+		if bPos[r] > lo {
+			lo = bPos[r]
+		}
+		if bPos[r+1] < hi {
+			hi = bPos[r+1]
+		}
+		if hi > lo {
+			kept += int64(hi - lo)
+		}
+	}
+	return int64(n) - kept
+}

@@ -36,25 +36,43 @@ type Arena struct {
 // oversized backing arrays to the collector instead of pinning them.
 const MaxArenaKeys = 1 << 19
 
-// grow ensures every column holds at least n elements.
+// growCap is the capacity a column gets when it must grow to hold n:
+// 25% headroom, so a mesh that creeps a few percent per timestep (the AMR
+// steady state) does not reallocate the alternating column pairs on every
+// other step.
+func growCap(n int) int { return n + n/4 }
+
+// grow ensures every column holds at least n elements. The columns are
+// checked individually: SwapAlt exchanges primary and scratch pairs, so
+// their capacities can diverge across uses of one arena.
 func (a *Arena) grow(n int) {
 	if cap(a.ranks) < n {
-		a.ranks = make([]sfc.Rank128, n)
-		a.rAlt = make([]sfc.Rank128, n)
+		a.ranks = make([]sfc.Rank128, growCap(n))
+	}
+	if cap(a.rAlt) < n {
+		a.rAlt = make([]sfc.Rank128, growCap(n))
 	}
 	if cap(a.kAlt) < n {
-		a.kAlt = make([]sfc.Key, n)
+		a.kAlt = make([]sfc.Key, growCap(n))
 	}
 	a.ranks = a.ranks[:n]
 	a.rAlt = a.rAlt[:n]
 	a.kAlt = a.kAlt[:n]
 }
 
+// growRanks ensures the primary rank column alone holds at least n elements.
+func (a *Arena) growRanks(n int) {
+	if cap(a.ranks) < n {
+		a.ranks = make([]sfc.Rank128, growCap(n))
+	}
+	a.ranks = a.ranks[:n]
+}
+
 // growKeys ensures the arena-owned key column holds at least n elements
 // (callers that sort their own slice never touch it).
 func (a *Arena) growKeys(n int) {
 	if cap(a.keys) < n {
-		a.keys = make([]sfc.Key, 0, n)
+		a.keys = make([]sfc.Key, 0, growCap(n))
 	}
 	a.keys = a.keys[:n]
 }
@@ -68,6 +86,46 @@ func (a *Arena) Keys(n int) []sfc.Key {
 	return a.keys
 }
 
+// Columns returns the arena-owned key and rank columns, both resized to n
+// and aligned index-for-index. This is the persistent element store of the
+// incremental repartitioner: keys[i] and ranks[i] describe one element, and
+// both survive across timesteps so warm starts reuse the cached ranks. The
+// contents beyond the previous length are undefined.
+//
+//alloc:zero once the columns are warm; growth is the first-use cold path.
+func (a *Arena) Columns(n int) ([]sfc.Key, []sfc.Rank128) {
+	a.growKeys(n)  //alloc:escape column growth runs once per size high-water mark; a warm arena reslices
+	a.growRanks(n) //alloc:escape column growth runs once per size high-water mark; a warm arena reslices
+	return a.keys, a.ranks
+}
+
+// AltColumns returns the scratch key and rank columns resized to n. A
+// refine/coarsen step merges the surviving elements into the scratch pair,
+// then adopts it with SwapAlt — the double-buffering that lets unchanged
+// elements keep their cached ranks without any in-place shifting.
+//
+//alloc:zero once the columns are warm; growth is the first-use cold path.
+func (a *Arena) AltColumns(n int) ([]sfc.Key, []sfc.Rank128) {
+	if cap(a.kAlt) < n {
+		a.kAlt = make([]sfc.Key, growCap(n)) //alloc:escape column growth runs once per size high-water mark; a warm arena reslices
+	}
+	if cap(a.rAlt) < n {
+		a.rAlt = make([]sfc.Rank128, growCap(n)) //alloc:escape column growth runs once per size high-water mark; a warm arena reslices
+	}
+	a.kAlt = a.kAlt[:n]
+	a.rAlt = a.rAlt[:n]
+	return a.kAlt, a.rAlt
+}
+
+// SwapAlt exchanges the primary and scratch column pairs, making the merge
+// output written through AltColumns the new element store.
+//
+//alloc:zero
+func (a *Arena) SwapAlt() {
+	a.keys, a.kAlt = a.kAlt, a.keys
+	a.ranks, a.rAlt = a.rAlt, a.ranks
+}
+
 // Trim releases any column that grew past MaxArenaKeys. Call it when a sort
 // (or a service request) finishes: bounded columns are kept warm for the
 // next use, outsized ones go to the collector.
@@ -75,7 +133,10 @@ func (a *Arena) Keys(n int) []sfc.Key {
 //alloc:zero
 func (a *Arena) Trim() {
 	if cap(a.ranks) > MaxArenaKeys {
-		a.ranks, a.rAlt = nil, nil
+		a.ranks = nil
+	}
+	if cap(a.rAlt) > MaxArenaKeys {
+		a.rAlt = nil
 	}
 	if cap(a.kAlt) > MaxArenaKeys {
 		a.kAlt = nil

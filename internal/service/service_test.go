@@ -134,6 +134,7 @@ func TestDigestFieldSensitivity(t *testing.T) {
 		"alpha":   func(r *Request) { r.Alpha = 16 },
 		"payload": func(r *Request) { r.PayloadBytes = 512 },
 		"machine": func(r *Request) { r.Machine = machine.Titan() },
+		"prior":   func(r *Request) { r.Prior = HandleFromWords(1, 2) },
 	}
 	for name, mutate := range mutations {
 		r := base
@@ -147,6 +148,13 @@ func TestDigestFieldSensitivity(t *testing.T) {
 	r.Tenant = "other"
 	if digestRequest(&r, canon) != d0 {
 		t.Fatal("tenant changed the digest")
+	}
+	// With a prior set, the horizon is part of the question.
+	w1, w2 := base, base
+	w1.Prior, w2.Prior = HandleFromWords(1, 2), HandleFromWords(1, 2)
+	w2.Horizon = 80
+	if digestRequest(&w1, canon) == digestRequest(&w2, canon) {
+		t.Fatal("horizon did not change a warm digest")
 	}
 
 	// Any single key field flips it too.
@@ -433,4 +441,185 @@ func TestServiceConcurrentMixed(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestServiceWarmRepartition drives a two-step online loop: a cold request
+// names its placement via Response.Handle, the next step's octree passes it
+// back as Prior, and the warm response carries the migration bill.
+func TestServiceWarmRepartition(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	ev := octree.NewEvolver(curve, 7, octree.Linearize(curve, testKeys(40, 4000)))
+
+	cold := baseRequest(append([]sfc.Key(nil), ev.Leaves()...))
+	cold.Mode = partition.ModelDriven
+	cold.Machine = machine.Titan()
+	r1, hit, err := s.Do(cold)
+	if err != nil || hit {
+		t.Fatalf("cold Do: hit=%v err=%v", hit, err)
+	}
+	if r1.Handle.IsZero() {
+		t.Fatal("cold response has a zero handle")
+	}
+	if r1.MovedElements != 0 || r1.MovedBytes != 0 {
+		t.Fatalf("cold response reports movement: %d elements", r1.MovedElements)
+	}
+
+	ev.Step(0.05, 0.05)
+	warm := cold
+	warm.Keys = append([]sfc.Key(nil), ev.Leaves()...)
+	warm.Prior = r1.Handle
+	warm.Horizon = 50
+	r2, hit, err := s.Do(warm)
+	if err != nil || hit {
+		t.Fatalf("warm Do: hit=%v err=%v", hit, err)
+	}
+	if r2.Handle.IsZero() || r2.Handle == r1.Handle {
+		t.Fatal("warm response handle missing or aliases the prior")
+	}
+	if r2.Splitters.P() != warm.Ranks {
+		t.Fatalf("warm splitters P = %d, want %d", r2.Splitters.P(), warm.Ranks)
+	}
+	if r2.MovedBytes != r2.MovedElements*machine.GhostPayloadBytes {
+		t.Fatalf("moved bytes %d != %d elements x default payload", r2.MovedBytes, r2.MovedElements)
+	}
+	if r2.MovedElements == 0 {
+		// Kept the prior placement: the separators must be inherited.
+		for i, sep := range r2.Splitters.Seps {
+			if sep != r1.Splitters.Seps[i] {
+				t.Fatal("no movement reported but separators changed")
+			}
+		}
+	}
+	if m := s.Metrics(); m.PriorMisses != 0 {
+		t.Fatalf("prior resolved from cache but PriorMisses = %d", m.PriorMisses)
+	}
+
+	// The warm answer is cached under the chained digest: a repeat is a hit
+	// sharing the same response, and the cold digest for the same octree is
+	// a distinct entry.
+	r2b, hit, err := s.Do(warm)
+	if err != nil || !hit || r2b != r2 {
+		t.Fatalf("warm repeat: hit=%v err=%v shared=%v", hit, err, r2b == r2)
+	}
+	coldAgain := warm
+	coldAgain.Prior = Handle{}
+	coldAgain.Horizon = 0
+	r3, hit, err := s.Do(coldAgain)
+	if err != nil || hit {
+		t.Fatalf("cold request after warm: hit=%v err=%v (want miss)", hit, err)
+	}
+	if r3.Handle == r2.Handle {
+		t.Fatal("cold and warm answers share a digest")
+	}
+
+	// Chaining continues: the warm handle seeds the next step.
+	ev.Step(0.05, 0.05)
+	warm3 := warm
+	warm3.Keys = append([]sfc.Key(nil), ev.Leaves()...)
+	warm3.Prior = r2.Handle
+	if _, hit, err := s.Do(warm3); err != nil || hit {
+		t.Fatalf("third step: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestServicePriorEvictionFallsBack: a stale handle (its placement evicted)
+// must not fail the request — it computes cold and counts a PriorMiss.
+func TestServicePriorEvictionFallsBack(t *testing.T) {
+	curve := sfc.NewCurve(sfc.Hilbert, 3)
+	const na = 1000
+	mk := func(seed int64) Request {
+		keys := octree.Linearize(curve, testKeys(seed, 1600))
+		if len(keys) < na {
+			t.Fatalf("seed %d linearized to %d keys, need %d", seed, len(keys), na)
+		}
+		r := baseRequest(keys[:na])
+		r.Mode = partition.ModelDriven
+		r.Machine = machine.Titan()
+		return r
+	}
+	s := New(Config{MaxCachedKeys: 2 * na})
+	defer s.Close()
+
+	a := mk(50)
+	ra, _, err := s.Do(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two more distinct octrees push a's placement out of the cache.
+	// (Re-requesting a here would re-cache it and defeat the test.)
+	for seed := int64(51); seed <= 52; seed++ {
+		if _, _, err := s.Do(mk(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics(); m.Evictions == 0 {
+		t.Fatalf("eviction bound not exercised: %+v", m)
+	}
+
+	warm := mk(53)
+	warm.Prior = ra.Handle
+	r, hit, err := s.Do(warm)
+	if err != nil || hit {
+		t.Fatalf("stale-prior Do: hit=%v err=%v", hit, err)
+	}
+	if r.MovedElements != 0 || r.KeptSeps != 0 {
+		t.Fatalf("cold fallback reports warm accounting: moved=%d kept=%d", r.MovedElements, r.KeptSeps)
+	}
+	if m := s.Metrics(); m.PriorMisses == 0 {
+		t.Fatalf("stale prior not counted: %+v", m)
+	}
+}
+
+// TestZeroAllocCacheHitWarm: the hit path with a Prior handle folds three
+// more words into the digest and must stay allocation-free.
+func TestZeroAllocCacheHitWarm(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	cold := baseRequest(testKeys(60, 2000))
+	cold.Mode = partition.ModelDriven
+	cold.Machine = machine.Titan()
+	r1, _, err := s.Do(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cold
+	warm.Keys = append([]sfc.Key(nil), cold.Keys...)
+	warm.Prior = r1.Handle
+	warm.Horizon = 25
+	if _, _, err := s.Do(warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := s.Do(warm); !hit {
+		t.Fatal("warmup not a hit")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, hit, err := s.Do(warm)
+		if !hit || err != nil {
+			t.Fatalf("hit=%v err=%v", hit, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm cache-hit path allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// TestWirePriorRoundTrip: the handle and migration fields survive the wire
+// forms in both directions.
+func TestWirePriorRoundTrip(t *testing.T) {
+	req := baseRequest(testKeys(70, 50))
+	req.Prior = HandleFromWords(0xdeadbeef, 0xfeedface)
+	req.Horizon = 12.5
+	wr := FromRequest(req)
+	if wr.PriorHi != 0xdeadbeef || wr.PriorLo != 0xfeedface || wr.Horizon != 12.5 {
+		t.Fatalf("wire request dropped the prior: %+v", wr)
+	}
+	back, err := wr.ToRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prior != req.Prior || back.Horizon != req.Horizon {
+		t.Fatalf("round trip changed the prior: %+v", back)
+	}
 }

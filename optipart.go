@@ -113,6 +113,10 @@ func Wisconsin8() Machine { return machine.Wisconsin8() }
 // applications (α ≈ 8, §3.3).
 const DefaultAlpha = machine.DefaultAlpha
 
+// GhostPayloadBytes is the wire size of one ghost element during the
+// boundary exchange — the unit the migration term charges per moved element.
+const GhostPayloadBytes = machine.GhostPayloadBytes
+
 // Comm is one rank's handle to the SPMD world (the MPI communicator of the
 // paper). Stats carries the modeled times and traffic of a run.
 type (
@@ -343,6 +347,59 @@ func EvaluateQuality(c *Comm, curve *Curve, local []Key, sp *Splitters) Quality 
 	return partition.EvaluateQuality(c, curve, local, sp)
 }
 
+// Incremental repartitioning for online AMR loops. Repartition is the
+// migration-aware counterpart of Partition: it seeds selection from the
+// prior placement and prices every candidate — the kept prior, low-movement
+// re-aims of only the out-of-tolerance separators, and the rungs of a full
+// from-scratch descent — with J = horizon·Tp + tw·movedBytes, adopting a
+// rebalance only when the moved bytes pay for themselves within the
+// horizon. Repartitioner is the serial engine form of the same trade: one
+// address space holding the mesh as arena-backed columns, warm-stepped
+// through an Evolver's refine/coarsen deltas with zero steady-state
+// allocations. See `experiments -run repart` for the campaign comparison
+// against from-scratch OptiPart and SampleSort.
+type (
+	RepartOptions = partition.RepartOptions
+	RepartResult  = partition.RepartResult
+	Repartitioner = partition.Repartitioner
+	RepartConfig  = partition.RepartConfig
+	StepResult    = partition.StepResult
+	Evolver       = octree.Evolver
+	MeshDelta     = octree.Delta
+)
+
+// DefaultHorizon is the number of application steps a new placement is
+// assumed to serve before the next regrid when RepartOptions.Horizon is 0.
+const DefaultHorizon = machine.DefaultHorizon
+
+// Repartition incrementally repartitions local (each rank's current
+// elements) against the prior placement in opts.Prior. Collective.
+func Repartition(c *Comm, local []Key, opts RepartOptions) *RepartResult {
+	return partition.Repartition(c, local, opts)
+}
+
+// MovedElements counts, collectively, the elements whose owner differs
+// between two placements of the same world size.
+func MovedElements(c *Comm, local []Key, prior, next *Splitters) int64 {
+	return partition.MovedElements(c, local, prior, next)
+}
+
+// NewRepartitioner builds the serial incremental engine.
+func NewRepartitioner(cfg RepartConfig) *Repartitioner { return partition.NewRepartitioner(cfg) }
+
+// NewEvolver starts a deterministic refine/coarsen evolution from a
+// complete linear leaf set; each Step returns the edit script as a Delta.
+func NewEvolver(curve *Curve, seed int64, leaves []Key) *Evolver {
+	return octree.NewEvolver(curve, seed, leaves)
+}
+
+// FrontBias builds the moving-refinement-front bias pair for an Evolver:
+// refinement concentrates in a hotspot octant that advances every period
+// steps, and coarsening drains resolution behind it.
+func FrontBias(dim, period int, hot, cold float64) (refine, coarsen func(Key, int) float64) {
+	return octree.FrontBias(dim, period, hot, cold)
+}
+
 // TreeSort reorders keys in place into curve order (Algorithm 1).
 func TreeSort(curve *Curve, keys []Key) { psort.TreeSort(curve, keys) }
 
@@ -368,7 +425,12 @@ type (
 	ServiceMetrics      = service.Metrics
 	ServiceWireRequest  = service.WireRequest
 	ServiceWireResponse = service.WireResponse
+	ServiceHandle       = service.Handle
 )
+
+// ServiceHandleFromWords reconstructs a prior-placement handle from its two
+// words, e.g. off the wire (WireResponse.HandleHi/HandleLo).
+func ServiceHandleFromWords(hi, lo uint64) ServiceHandle { return service.HandleFromWords(hi, lo) }
 
 // ErrServiceClosed is returned by PartitionService.Do after Close.
 var ErrServiceClosed = service.ErrClosed

@@ -20,8 +20,13 @@
 # over hit-heavy and miss-heavy mixes at concurrency 1, 4, and GOMAXPROCS,
 # recording req/s, p50/p99 latency, and hit rate into BENCH_8.json.
 #
-#   ./scripts/bench.sh                             # writes BENCH_3/5/6/7/8.json
-#   ./scripts/bench.sh a.json b.json c.json d.json e.json # write elsewhere
+# A sixth pass runs the incremental-repartitioning engine (PR 10): warm
+# (edit-script Step, rank cache reused) vs cold (full Rebuild re-rank) steps
+# over the moving-front mesh evolution, with moved-bytes/op recorded, into
+# BENCH_10.json.
+#
+#   ./scripts/bench.sh                             # writes BENCH_3/5/6/7/8/10.json
+#   ./scripts/bench.sh a.json b.json c.json d.json e.json f.json # write elsewhere
 #
 # To re-record the worker baseline on a new host, pin the widths first:
 #   OPTIPART_BENCH_WORKERS=1,4 go test -run '^$' \
@@ -34,6 +39,7 @@ out5=${2:-BENCH_5.json}
 out6=${3:-BENCH_6.json}
 out7=${4:-BENCH_7.json}
 out8=${5:-BENCH_8.json}
+out10=${6:-BENCH_10.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -88,3 +94,12 @@ go run ./cmd/benchfmt -out "$out8" \
     -note "PR 8 record: the partitioning service. CacheHit is the steady-state memoized path (canonicalize + digest + verify + LRU touch) and must stay at 0 allocs/op; CacheMiss forces recompute on every request (cache capacity 1); Digest is the raw two-lane content hash. The ServiceLoad entries come from cmd/loadgen: closed-loop sweep, req/s with p50/p99 latency and measured hit rate, hit mix over a primed 8-octree pool (expect hit-rate 1.0) and miss mix with a unique deep octant per request (expect 0.0). Host caveat: GOMAXPROCS=1, so conc>1 cells measure fair-admission queueing on one core, not parallel scaling, and the 1/4/GOMAXPROCS sweep collapses to 1/4. No baseline: the service is new in this PR." \
     "$tmp/service.txt" "$tmp/loadgen.txt"
 go run ./cmd/benchfmt -check "$out8"
+
+echo "==> incremental repartitioning benchmarks (warm Step vs cold Rebuild)"
+go test -run '^$' -bench 'RepartitionStep' -benchmem . | tee "$tmp/repart.txt"
+
+echo "==> formatting $out10"
+go run ./cmd/benchfmt -out "$out10" \
+    -note "PR 10 record: the serial incremental repartitioning engine driven through the same moving-front mesh evolution as \`experiments -run repart\` (16 partitions, Titan, horizon 240). warm applies each step's edit script, so only refined/coarsened subtrees re-rank and every other element keeps its cached curve rank; cold re-ingests and fully re-ranks the whole mesh each step (Rebuild). Both warm-start placement selection from the prior placement, so warm-vs-cold isolates the rank-cache reuse; moved-bytes/op is the migration traffic of the adopted placements (identical mesh histories, so warm and cold converge on similar traffic). The Step path's zero-steady-state-allocation contract is enforced by the partition package's alloc tests and allocgate, not by this record. No baseline: the engine is new in this PR." \
+    "$tmp/repart.txt"
+go run ./cmd/benchfmt -check "$out10"

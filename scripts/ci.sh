@@ -69,12 +69,36 @@ echo "==> hot-path benchmark smoke"
 go test -run '^$' -bench 'TreeSort|Partition' -benchtime 1x .
 go test -run '^$' -bench 'Transport' -benchtime 1x ./internal/comm
 
-echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json / BENCH_7.json / BENCH_8.json parse"
+echo "==> BENCH_3.json / BENCH_5.json / BENCH_6.json / BENCH_7.json / BENCH_8.json / BENCH_10.json parse"
 go run ./cmd/benchfmt -check BENCH_3.json
 go run ./cmd/benchfmt -check BENCH_5.json
 go run ./cmd/benchfmt -check BENCH_6.json
 go run ./cmd/benchfmt -check BENCH_7.json
 go run ./cmd/benchfmt -check BENCH_8.json
+# BENCH_10 additionally enforces RepartitionStep completeness: both warm and
+# cold variants present, each with moved-bytes/op, warm faster than cold.
+go run ./cmd/benchfmt -check BENCH_10.json
+
+echo "==> repart transcript bit-identical at -workers 1 and GOMAXPROCS, and to its golden"
+# The incremental repartitioning campaign must not depend on worker-pool
+# width: the quick transcript is compared byte-for-byte between the serial
+# path and the host's full width, then against the committed golden.
+repartdir=$(mktemp -d)
+go run ./cmd/experiments -run repart -quick -workers 1 >"$repartdir/w1.txt"
+go run ./cmd/experiments -run repart -quick >"$repartdir/wmax.txt"
+if ! cmp -s "$repartdir/w1.txt" "$repartdir/wmax.txt"; then
+    echo "repart transcript differs between -workers 1 and GOMAXPROCS:" >&2
+    diff "$repartdir/w1.txt" "$repartdir/wmax.txt" >&2 || true
+    rm -rf "$repartdir"
+    exit 1
+fi
+if ! cmp -s "$repartdir/w1.txt" internal/experiments/testdata/golden/repart.golden; then
+    echo "repart transcript diverges from the committed golden:" >&2
+    diff internal/experiments/testdata/golden/repart.golden "$repartdir/w1.txt" >&2 || true
+    rm -rf "$repartdir"
+    exit 1
+fi
+rm -rf "$repartdir"
 
 echo "==> optipartd multi-process smoke (4 ranks, kill one, recover)"
 # Hermetic: workers rendezvous over unix sockets in a private temp dir, no
